@@ -1,0 +1,56 @@
+package repro
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/codegen"
+)
+
+// findRegistration looks up a component registration by full name.
+func findRegistration(name string) (*codegen.Registration, bool) {
+	return codegen.Find(name)
+}
+
+// newEchoHTTP builds the echo handler used by the HTTP transport bench.
+func newEchoHTTP() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/echo", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	})
+	return mux
+}
+
+func serveHTTP(lis net.Listener, handler http.Handler) {
+	srv := &http.Server{Handler: handler}
+	_ = srv.Serve(lis)
+}
+
+func newHTTPClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+}
+
+func postJSON(client *http.Client, url string, payload []byte) error {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}

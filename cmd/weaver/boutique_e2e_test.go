@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBoutiqueMultiprocessEndToEnd deploys the full eleven-service boutique
+// across OS processes (one per component) and drives it with the built-in
+// load generator, asserting zero failed requests — the complete §6.1
+// pipeline in one test.
+func TestBoutiqueMultiprocessEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	weaverBin := buildTool(t, dir, "weaver", "./cmd/weaver")
+	boutique := buildTool(t, dir, "boutique", "./examples/boutique")
+
+	cmd := exec.Command(weaverBin, "multi", "run", boutique, "-load", "-rate", "150", "-duration", "4s")
+	cmd.Env = append(cmd.Environ(), "WEAVER_LISTEN_BOUTIQUE=127.0.0.1:19400")
+	out := &strings.Builder{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	done := make(chan error, 1)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() { done <- cmd.Wait() }()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("deployment failed: %v\n%s", err, out.String())
+		}
+	case <-time.After(120 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("deployment hung:\n%s", out.String())
+	}
+
+	output := out.String()
+	m := regexp.MustCompile(`sent=(\d+) ok=(\d+) err=(\d+)`).FindStringSubmatch(output)
+	if m == nil {
+		t.Fatalf("no load report in output:\n%s", output)
+	}
+	sent, _ := strconv.Atoi(m[1])
+	okCount, _ := strconv.Atoi(m[2])
+	errCount, _ := strconv.Atoi(m[3])
+	if sent < 300 {
+		t.Errorf("sent = %d, expected several hundred", sent)
+	}
+	if errCount != 0 || okCount != sent {
+		t.Errorf("load errors: sent=%d ok=%d err=%d\n%s", sent, okCount, errCount, output)
+	}
+	// Every service must have been deployed as its own replica.
+	for _, svc := range []string{"Frontend", "Cart", "Checkout", "Currency", "Payment", "ProductCatalog"} {
+		if !strings.Contains(output, "group="+svc) {
+			t.Errorf("service %s never started:\n%s", svc, firstLines(output, 30))
+		}
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/manager"
+)
+
+// buildTool compiles a package into dir and returns the binary path.
+func buildTool(t *testing.T, dir, name, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found")
+		}
+		dir = parent
+	}
+}
+
+// TestMultiRunEndToEnd builds the real deployer and quickstart binaries and
+// runs a full multiprocess deployment: manager in the deployer process,
+// envelope+proclet subprocesses, Hello served over the data plane.
+func TestMultiRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	weaverBin := buildTool(t, dir, "weaver", "./cmd/weaver")
+	quickstart := buildTool(t, dir, "quickstart", "./examples/quickstart")
+
+	cmd := exec.Command(weaverBin, "multi", "run", quickstart, "EndToEnd")
+	out := &strings.Builder{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	done := make(chan error, 1)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() { done <- cmd.Wait() }()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("weaver multi run: %v\n%s", err, out.String())
+		}
+	case <-time.After(60 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("deployment hung:\n%s", out.String())
+	}
+
+	output := out.String()
+	if !strings.Contains(output, "Hello, EndToEnd!") {
+		t.Errorf("missing greeting in output:\n%s", output)
+	}
+	// The Hello component must have run in its own replica.
+	if !strings.Contains(output, "replica registered") || !strings.Contains(output, "group=Hello") {
+		t.Errorf("no Hello replica in output:\n%s", output)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	weaverBin := buildTool(t, dir, "weaver", "./cmd/weaver")
+	quickstart := buildTool(t, dir, "quickstart", "./examples/quickstart")
+
+	out, err := exec.Command(weaverBin, "describe", quickstart).CombinedOutput()
+	if err != nil {
+		t.Fatalf("describe: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "repro/examples/quickstart/Hello routed=false") {
+		t.Errorf("describe output:\n%s", out)
+	}
+}
+
+func TestResolveComponents(t *testing.T) {
+	inventory := []manager.ComponentInfo{
+		{Name: "app/pkg/Cart"},
+		{Name: "app/pkg/Catalog"},
+		{Name: "other/Cart"},
+	}
+	// Full names resolve.
+	got, err := resolveComponents(inventory, []string{"app/pkg/Catalog"})
+	if err != nil || len(got) != 1 || got[0] != "app/pkg/Catalog" {
+		t.Errorf("full name: %v, %v", got, err)
+	}
+	// Unique short names resolve.
+	got, err = resolveComponents(inventory, []string{"Catalog"})
+	if err != nil || len(got) != 1 || got[0] != "app/pkg/Catalog" {
+		t.Errorf("short name: %v, %v", got, err)
+	}
+	// Ambiguous short names are rejected.
+	if _, err := resolveComponents(inventory, []string{"Cart"}); err == nil {
+		t.Error("ambiguous short name accepted")
+	}
+	// Unknown names are rejected.
+	if _, err := resolveComponents(inventory, []string{"Nope"}); err == nil {
+		t.Error("unknown name accepted")
+	}
+	// Blank entries are skipped.
+	got, err = resolveComponents(inventory, []string{" ", "Catalog"})
+	if err != nil || len(got) != 1 {
+		t.Errorf("blank entry: %v, %v", got, err)
+	}
+}

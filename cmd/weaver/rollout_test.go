@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRolloutRunEndToEnd performs a real blue/green rollout: two complete
+// boutique deployments (subprocess proclets, TCP data planes) behind the
+// traffic-shifting proxy, with requests flowing throughout the shift.
+func TestRolloutRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	weaverBin := buildTool(t, dir, "weaver", "./cmd/weaver")
+	boutique := buildTool(t, dir, "boutique", "./examples/boutique")
+
+	const front = "127.0.0.1:19300"
+	cmd := exec.Command(weaverBin, "rollout", "run",
+		"-listen", front, "-listener", "boutique",
+		"-steps", "3", "-step", "1s",
+		boutique, boutique)
+	var out syncBuffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		_, _ = cmd.Process.Wait()
+	}()
+
+	// Wait for the front door.
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := client.Get("http://" + front + "/healthz?user=probe")
+		if err == nil && resp.StatusCode == 200 {
+			resp.Body.Close()
+			break
+		}
+		if err == nil {
+			resp.Body.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("front door never came up:\n%s", out.String())
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// Issue requests from many users while the rollout progresses; every
+	// request must succeed, and by the end both versions must have served.
+	versions := map[string]bool{}
+	userVersion := map[string]string{}
+	for start := time.Now(); time.Since(start) < 6*time.Second; {
+		for u := 0; u < 10; u++ {
+			user := fmt.Sprintf("user-%d", u)
+			resp, err := client.Get("http://" + front + "/?user=" + user)
+			if err != nil {
+				t.Fatalf("request during rollout failed: %v\n%s", err, out.String())
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Fatalf("status %d during rollout\n%s", resp.StatusCode, out.String())
+			}
+			v := resp.Header.Get("X-Weaver-Version")
+			versions[v] = true
+			// A user that reached "new" must never regress to "old".
+			if prev := userVersion[user]; prev == "new" && v == "old" {
+				t.Fatalf("user %s regressed from new to old", user)
+			}
+			userVersion[user] = v
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+
+	if !versions["old"] || !versions["new"] {
+		t.Errorf("versions seen = %v, want both old and new", versions)
+	}
+
+	// After the shift completes, everything is on new.
+	waitForLog(t, &out, "rollout complete", 30*time.Second)
+	for u := 0; u < 10; u++ {
+		resp, err := client.Get(fmt.Sprintf("http://%s/?user=user-%d", front, u))
+		if err != nil {
+			t.Fatalf("request after rollout: %v", err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if v := resp.Header.Get("X-Weaver-Version"); v != "new" {
+			t.Errorf("user-%d on %q after completion", u, v)
+		}
+	}
+}
+
+func waitForLog(t *testing.T, out *syncBuffer, substr string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !strings.Contains(out.String(), substr) {
+		if time.Now().After(deadline) {
+			t.Fatalf("log never contained %q:\n%s", substr, out.String())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -1,0 +1,48 @@
+// Weavergen is the weaver code generator (paper §4.2). It scans Go
+// packages for component implementations — structs embedding
+// weaver.Implements[T] — and writes a weaver_gen.go file into each package
+// containing the serialization, stub, and dispatch code that lets the
+// runtime invoke those components locally or remotely.
+//
+// Usage:
+//
+//	weavergen ./path/to/pkg [more packages...]
+//
+// Run it again whenever component interfaces change; the generated file is
+// compiled into the application binary together with the developer's code.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/generate"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: weavergen <package dir> [package dir...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	exit := 0
+	for _, dir := range flag.Args() {
+		path, err := generate.GenerateToFile(generate.Options{Dir: dir})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "weavergen: %s: %v\n", dir, err)
+			exit = 1
+			continue
+		}
+		if path == "" {
+			fmt.Fprintf(os.Stderr, "weavergen: %s: no components found\n", dir)
+			continue
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	os.Exit(exit)
+}

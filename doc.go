@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Towards Modern
+// Development of Cloud Applications" (HotOS '23) — the Service Weaver
+// vision paper. The public programming model lives in package
+// repro/weaver; the runtime, deployers, and evaluation substrates live
+// under internal/; runnable applications live under examples/ and cmd/.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured results. The benchmarks in
+// bench_test.go regenerate every quantitative claim in the paper's
+// evaluation; run them with:
+//
+//	go test -bench=. -benchmem .
+package repro

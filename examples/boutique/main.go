@@ -1,0 +1,77 @@
+// The boutique example runs the Online Boutique port (paper §6.1): an
+// eleven-service e-commerce application written as weaver components in a
+// single binary.
+//
+// Single process (all components co-located):
+//
+//	WEAVER_LISTEN_BOUTIQUE=127.0.0.1:8080 go run ./examples/boutique
+//
+// Multiprocess (one OS process per component, the paper's
+// apples-to-apples configuration):
+//
+//	go build -o /tmp/boutique ./examples/boutique
+//	go run ./cmd/weaver multi run /tmp/boutique
+//
+// Flags:
+//
+//	-load          drive the storefront with the built-in load generator
+//	-rate N        load generator request rate (default 200/s)
+//	-duration D    load duration (default 10s)
+//	-serve         keep serving until interrupted (default true without -load)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/boutique"
+	"repro/internal/loadgen"
+	"repro/weaver"
+)
+
+func main() {
+	load := flag.Bool("load", false, "run the load generator against the storefront")
+	rate := flag.Float64("rate", 200, "load generator request rate (requests/sec)")
+	duration := flag.Duration("duration", 10*time.Second, "load generator duration")
+	flag.Parse()
+
+	ctx := context.Background()
+	app, err := weaver.Init(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer app.Shutdown(ctx)
+
+	fe, err := weaver.Get[boutique.Frontend](app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := fe.HTTPAddr(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("boutique: storefront at http://%s\n", addr)
+
+	if *load {
+		report := loadgen.Run(ctx, loadgen.NewHTTPTarget("http://"+addr), loadgen.Options{
+			Rate:     *rate,
+			Duration: *duration,
+			Seed:     42,
+		})
+		fmt.Printf("boutique: %s\n", report)
+		for op, n := range report.PerOp {
+			fmt.Printf("  %-14s %d\n", op, n)
+		}
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("boutique: shutting down")
+}

@@ -1,0 +1,123 @@
+// The chaosdemo example reproduces §5.3 of the paper: because a weaver
+// application is a single binary, automated fault-tolerance testing —
+// "systematically failing and restoring [services] and checking for
+// correct behavior", which takes a staging cluster for a microservice
+// system — is an ordinary Go program.
+//
+// The demo deploys the Online Boutique across in-process proclets (real
+// control-plane pipes, real TCP data plane), runs storefront load, crashes
+// random service replicas while the load is flowing, and verifies that:
+//
+//  1. the storefront keeps serving through crashes (replicas are
+//     replicated and calls retry transparently), and
+//
+//  2. after the manager heals the fleet, a full purchase flow completes.
+//
+//     go run ./examples/chaosdemo
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"reflect"
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/boutique"
+	"repro/internal/chaos"
+	"repro/internal/deploy"
+	"repro/internal/loadgen"
+	"repro/internal/logging"
+	"repro/internal/manager"
+	"repro/weaver"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Two replicas of the hot services so one crash never causes a full
+	// outage.
+	d, err := deploy.StartInProcess(ctx, deploy.Options{
+		Config: manager.Config{
+			App: "chaosdemo",
+			Autoscale: map[string]autoscale.Config{
+				"ProductCatalog": {MinReplicas: 2, MaxReplicas: 2},
+				"Currency":       {MinReplicas: 2, MaxReplicas: 2},
+				"Frontend":       {MinReplicas: 1, MaxReplicas: 1},
+			},
+			Logger: logging.New(logging.Options{Component: "manager", Min: logging.LevelError}),
+		},
+		Fill: func(impl any, name string, logger *logging.Logger, resolve func(reflect.Type) (any, error)) error {
+			listen := func(string) (net.Listener, error) { return net.Listen("tcp", "127.0.0.1:0") }
+			return weaver.FillComponent(impl, name, logger, resolve, listen)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Stop()
+
+	fe, err := deploy.Get[boutique.Frontend](ctx, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := &loadgen.ComponentTarget{Frontend: fe}
+	// Prime all routes before the mayhem starts.
+	if err := target.Do(ctx, loadgen.OpCheckout, "primer", "USD", "OLJCESPC7Z"); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("chaosdemo: crashing ProductCatalog and Currency replicas under load...")
+	res, err := chaos.Run(ctx, chaos.Options{
+		Deployment:        d,
+		TargetGroups:      []string{"ProductCatalog", "Currency"},
+		Faults:            6,
+		MeanBetweenFaults: 400 * time.Millisecond,
+		SettleTime:        2 * time.Second,
+		Seed:              1,
+		Workload: func(ctx context.Context) error {
+			time.Sleep(2 * time.Millisecond) // pace the open-loop probes
+			_, err := fe.Home(ctx, "chaos-user", "USD")
+			return err
+		},
+		Invariant: func(ctx context.Context) error {
+			// A complete purchase must work once the fleet has healed.
+			if err := fe.AddToCart(ctx, "invariant-user", "OLJCESPC7Z", 1); err != nil {
+				return fmt.Errorf("add to cart: %w", err)
+			}
+			order, err := fe.Checkout(ctx, boutique.PlaceOrderRequest{
+				UserID:       "invariant-user",
+				UserCurrency: "EUR",
+				Email:        "chaos@example.com",
+				CreditCard: boutique.CreditCard{
+					Number: "4432-8015-6152-0454", CVV: 672,
+					ExpirationYear: 2039, ExpirationMonth: 1,
+				},
+			})
+			if err != nil {
+				return fmt.Errorf("checkout: %w", err)
+			}
+			if order.OrderID == "" || len(order.Items) != 1 {
+				return fmt.Errorf("malformed order after healing: %+v", order)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	availability := 100.0
+	if res.Requests > 0 {
+		availability = 100 * float64(res.Requests-res.Errors) / float64(res.Requests)
+	}
+	fmt.Printf("chaosdemo: %d faults injected, %d requests, %d errors (%.2f%% available), longest outage %v\n",
+		res.FaultsInjected, res.Requests, res.Errors, availability, res.LongestOutage.Round(time.Millisecond))
+	if res.Failed() {
+		fmt.Printf("chaosdemo: INVARIANT VIOLATIONS: %v\n", res.InvariantErrors)
+	} else {
+		fmt.Println("chaosdemo: all invariants held — purchases work after healing")
+	}
+}

@@ -1,0 +1,62 @@
+// The quickstart example is the paper's Figure 2 "Hello, World!"
+// application: one component, one method, initialized with weaver.Init and
+// invoked through weaver.Get.
+//
+// Build and run:
+//
+//	go run repro/cmd/weavergen ./examples/quickstart   # (already done; weaver_gen.go is checked in)
+//	go run ./examples/quickstart
+//
+// Run it under the multiprocess deployer to see the same code execute with
+// the component in a different OS process:
+//
+//	go build -o /tmp/quickstart ./examples/quickstart
+//	go run ./cmd/weaver multi run /tmp/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/weaver"
+)
+
+// Hello is a component interface (paper Figure 2).
+type Hello interface {
+	Greet(ctx context.Context, name string) (string, error)
+}
+
+// hello is the component implementation.
+type hello struct {
+	weaver.Implements[Hello]
+}
+
+// Greet returns a greeting.
+func (h *hello) Greet(_ context.Context, name string) (string, error) {
+	return fmt.Sprintf("Hello, %s!", name), nil
+}
+
+func main() {
+	ctx := context.Background()
+	app, err := weaver.Init(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer app.Shutdown(ctx)
+
+	hello, err := weaver.Get[Hello](app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	name := "World"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	greeting, err := hello.Greet(ctx, name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(greeting)
+}

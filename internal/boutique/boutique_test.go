@@ -1,0 +1,408 @@
+package boutique
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/weaver"
+)
+
+var testCard = CreditCard{
+	Number:          "4432-8015-6152-0454", // passes Luhn, VISA
+	CVV:             672,
+	ExpirationYear:  2039,
+	ExpirationMonth: 1,
+}
+
+func initApp(t *testing.T) (*weaver.App, Frontend) {
+	t.Helper()
+	ctx := context.Background()
+	app, err := weaver.Init(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { app.Shutdown(ctx) })
+	fe, err := weaver.Get[Frontend](app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, fe
+}
+
+func TestHomePage(t *testing.T) {
+	_, fe := initApp(t)
+	ctx := context.Background()
+	page, err := fe.Home(ctx, "user-1", "EUR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Products) != len(catalogData) {
+		t.Errorf("products = %d, want %d", len(page.Products), len(catalogData))
+	}
+	for _, p := range page.Products {
+		if p.Price.CurrencyCode != "EUR" {
+			t.Errorf("product %s price in %s, want EUR", p.ID, p.Price.CurrencyCode)
+		}
+	}
+	if len(page.Currencies) != len(currencyRates) {
+		t.Errorf("currencies = %d, want %d", len(page.Currencies), len(currencyRates))
+	}
+}
+
+func TestProductPage(t *testing.T) {
+	_, fe := initApp(t)
+	ctx := context.Background()
+	page, err := fe.Product(ctx, "user-1", "OLJCESPC7Z", "USD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Product.Name != "Sunglasses" {
+		t.Errorf("product = %q", page.Product.Name)
+	}
+	if len(page.Recommendations) == 0 || len(page.Recommendations) > 5 {
+		t.Errorf("recommendations = %v", page.Recommendations)
+	}
+	for _, rec := range page.Recommendations {
+		if rec == "OLJCESPC7Z" {
+			t.Error("recommended the product being viewed")
+		}
+	}
+	if page.Ad.Text == "" {
+		t.Error("no ad on product page")
+	}
+}
+
+func TestFullPurchaseJourney(t *testing.T) {
+	_, fe := initApp(t)
+	ctx := context.Background()
+	user := "shopper-42"
+
+	if err := fe.AddToCart(ctx, user, "OLJCESPC7Z", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := fe.AddToCart(ctx, user, "6E92ZMYYFZ", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Adding the same product merges quantities.
+	if err := fe.AddToCart(ctx, user, "OLJCESPC7Z", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	cartPage, err := fe.ViewCart(ctx, user, "USD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cartPage.Items) != 2 {
+		t.Fatalf("cart items = %d, want 2", len(cartPage.Items))
+	}
+	// 3 * 19.99 + 1 * 8.99 + 8.99 shipping = 77.95
+	if got := cartPage.Total.Float(); got < 77.90 || got > 78.00 {
+		t.Errorf("cart total = %v", cartPage.Total)
+	}
+
+	order, err := fe.Checkout(ctx, PlaceOrderRequest{
+		UserID:       user,
+		UserCurrency: "USD",
+		Address:      Address{StreetAddress: "1600 Amphitheatre Pkwy", City: "Mountain View", State: "CA", Country: "USA", ZipCode: 94043},
+		Email:        "shopper@example.com",
+		CreditCard:   testCard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order.OrderID == "" || order.ShippingTrackingID == "" {
+		t.Errorf("order missing ids: %+v", order)
+	}
+	if len(order.Items) != 2 {
+		t.Errorf("order items = %d", len(order.Items))
+	}
+
+	// The cart must be empty after checkout.
+	cartPage, err = fe.ViewCart(ctx, user, "USD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cartPage.Items) != 0 {
+		t.Errorf("cart not emptied: %+v", cartPage.Items)
+	}
+}
+
+func TestCheckoutEmptyCartFails(t *testing.T) {
+	_, fe := initApp(t)
+	ctx := context.Background()
+	_, err := fe.Checkout(ctx, PlaceOrderRequest{UserID: "nobody", UserCurrency: "USD", CreditCard: testCard})
+	if err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCheckoutBadCardFails(t *testing.T) {
+	_, fe := initApp(t)
+	ctx := context.Background()
+	user := "badcard"
+	if err := fe.AddToCart(ctx, user, "OLJCESPC7Z", 1); err != nil {
+		t.Fatal(err)
+	}
+	bad := testCard
+	bad.Number = "4432-8015-6152-0455" // fails Luhn
+	_, err := fe.Checkout(ctx, PlaceOrderRequest{UserID: user, UserCurrency: "USD", CreditCard: bad})
+	if err == nil || !strings.Contains(err.Error(), "credit card") {
+		t.Errorf("err = %v", err)
+	}
+	// The failed checkout must not empty the cart.
+	page, err := fe.ViewCart(ctx, user, "USD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Items) != 1 {
+		t.Errorf("cart lost items after failed checkout: %+v", page.Items)
+	}
+}
+
+func TestExpiredCardFails(t *testing.T) {
+	_, fe := initApp(t)
+	ctx := context.Background()
+	user := "expired"
+	if err := fe.AddToCart(ctx, user, "OLJCESPC7Z", 1); err != nil {
+		t.Fatal(err)
+	}
+	old := testCard
+	old.ExpirationYear = 2020
+	_, err := fe.Checkout(ctx, PlaceOrderRequest{UserID: user, UserCurrency: "USD", CreditCard: old})
+	if err == nil || !strings.Contains(err.Error(), "expired") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCurrencyConversionRoundTrip(t *testing.T) {
+	_, fe := initApp(t)
+	_ = fe
+	ctx := context.Background()
+	app, err := weaver.Init(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := weaver.MustGet[Currency](app)
+	usd := Money{CurrencyCode: "USD", Units: 100, Nanos: 0}
+	eur, err := cur.Convert(ctx, usd, "EUR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := cur.Convert(ctx, eur, "USD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := back.Float() - usd.Float(); diff < -0.01 || diff > 0.01 {
+		t.Errorf("round trip 100 USD -> %v -> %v", eur, back)
+	}
+}
+
+func TestUnsupportedCurrency(t *testing.T) {
+	app, _ := initApp(t)
+	ctx := context.Background()
+	cur := weaver.MustGet[Currency](app)
+	_, err := cur.Convert(ctx, Money{CurrencyCode: "USD", Units: 1}, "XXX")
+	if err == nil {
+		t.Error("converting to XXX succeeded")
+	}
+}
+
+func TestSearchProducts(t *testing.T) {
+	app, _ := initApp(t)
+	ctx := context.Background()
+	cat := weaver.MustGet[ProductCatalog](app)
+	hits, err := cat.SearchProducts(ctx, "kitchen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Error("no hits for kitchen")
+	}
+	none, err := cat.SearchProducts(ctx, "zzzznothing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("unexpected hits: %v", none)
+	}
+}
+
+func TestAdsContextual(t *testing.T) {
+	app, _ := initApp(t)
+	ctx := context.Background()
+	ads := weaver.MustGet[AdService](app)
+	kitchen, err := ads.GetAds(ctx, []string{"kitchen"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kitchen) != 2 {
+		t.Errorf("kitchen ads = %d, want 2", len(kitchen))
+	}
+	random, err := ads.GetAds(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(random) == 0 {
+		t.Error("no random ads")
+	}
+}
+
+func TestHTTPFrontDoor(t *testing.T) {
+	_, fe := initApp(t)
+	ctx := context.Background()
+	addr, err := fe.HTTPAddr(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := get("/healthz")
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz = %s", resp.Status)
+	}
+	resp.Body.Close()
+
+	resp = get("/?currency=USD")
+	if resp.StatusCode != 200 {
+		t.Fatalf("home = %s", resp.Status)
+	}
+	var home HomePage
+	if err := json.NewDecoder(resp.Body).Decode(&home); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(home.Products) != len(catalogData) {
+		t.Errorf("home products = %d", len(home.Products))
+	}
+
+	// Add to cart over HTTP, then check out over HTTP.
+	body := strings.NewReader(`{"UserID":"http-user","ProductID":"OLJCESPC7Z","Quantity":1}`)
+	presp, err := http.Post("http://"+addr+"/cart", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if presp.StatusCode != 200 {
+		t.Fatalf("add to cart = %s", presp.Status)
+	}
+	presp.Body.Close()
+
+	orderReq, _ := json.Marshal(PlaceOrderRequest{
+		UserID: "http-user", UserCurrency: "USD",
+		Email: "h@example.com", CreditCard: testCard,
+	})
+	oresp, err := http.Post("http://"+addr+"/cart/checkout", "application/json", strings.NewReader(string(orderReq)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oresp.Body.Close()
+	if oresp.StatusCode != 200 {
+		t.Fatalf("checkout = %s", oresp.Status)
+	}
+	var order Order
+	if err := json.NewDecoder(oresp.Body).Decode(&order); err != nil {
+		t.Fatal(err)
+	}
+	if order.OrderID == "" {
+		t.Error("no order id over HTTP")
+	}
+}
+
+func TestMoneyAddProperties(t *testing.T) {
+	// Money.Add must be commutative and preserve validity.
+	f := func(u1 int32, n1 int32, u2 int32, n2 int32) bool {
+		norm := func(u, n int32) Money {
+			nn := n % nanosMod
+			if (u > 0 && nn < 0) || (u < 0 && nn > 0) {
+				nn = -nn
+			}
+			return Money{CurrencyCode: "USD", Units: int64(u), Nanos: nn}
+		}
+		a, b := norm(u1, n1), norm(u2, n2)
+		ab, err1 := a.Add(b)
+		ba, err2 := b.Add(a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ab == ba && ab.Valid() || ab.IsZero()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoneyMultiply(t *testing.T) {
+	m := Money{CurrencyCode: "USD", Units: 19, Nanos: 990000000}
+	got := m.MultiplyInt(3)
+	if got.Units != 59 || got.Nanos != 970000000 {
+		t.Errorf("3 * 19.99 = %v", got)
+	}
+	zero := m.MultiplyInt(0)
+	if !zero.IsZero() {
+		t.Errorf("0 * m = %v", zero)
+	}
+}
+
+func TestLuhn(t *testing.T) {
+	for num, want := range map[string]bool{
+		"4432801561520454": true,
+		"4432801561520455": false,
+		"5555555555554444": true, // MasterCard test number
+		"4111111111111111": true, // VISA test number
+		"1234":             false,
+		"abcd111111111111": false,
+	} {
+		if got := luhnValid(num); got != want {
+			t.Errorf("luhnValid(%s) = %t, want %t", num, got, want)
+		}
+	}
+}
+
+func TestPaymentRejectsUnsupportedNetwork(t *testing.T) {
+	app, _ := initApp(t)
+	ctx := context.Background()
+	pay := weaver.MustGet[Payment](app)
+	amex := testCard
+	amex.Number = "378282246310005" // AmEx test number, valid Luhn
+	_, err := pay.Charge(ctx, Money{CurrencyCode: "USD", Units: 1}, amex)
+	if err == nil || !strings.Contains(err.Error(), "VISA") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestShippingQuote(t *testing.T) {
+	app, _ := initApp(t)
+	ctx := context.Background()
+	ship := weaver.MustGet[Shipping](app)
+	q, err := ship.GetQuote(ctx, Address{}, []CartItem{{ProductID: "x", Quantity: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Float() != 8.99 {
+		t.Errorf("quote = %v", q)
+	}
+	empty, err := ship.GetQuote(ctx, Address{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty.IsZero() {
+		t.Errorf("empty quote = %v", empty)
+	}
+	if _, err := ship.ShipOrder(ctx, Address{}, nil); err == nil {
+		t.Error("shipping nothing succeeded")
+	}
+}
+
+var _ = fmt.Sprintf

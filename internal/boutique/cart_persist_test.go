@@ -1,0 +1,76 @@
+package boutique
+
+import (
+	"context"
+	"testing"
+)
+
+// TestCartPersistence verifies write-through persistence: a cart written by
+// one replica incarnation is visible to the next after a "restart".
+func TestCartPersistence(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("CART_STORE_DIR", dir)
+	ctx := context.Background()
+
+	c1 := &cart{}
+	if err := c1.Init(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.AddItem(ctx, "u1", CartItem{ProductID: "P1", Quantity: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.AddItem(ctx, "u1", CartItem{ProductID: "P2", Quantity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.AddItem(ctx, "u2", CartItem{ProductID: "P3", Quantity: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.EmptyCart(ctx, "u2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart" the replica.
+	c2 := &cart{}
+	if err := c2.Init(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Shutdown(ctx)
+
+	items, err := c2.GetCart(ctx, "u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 || items[0].ProductID != "P1" || items[0].Quantity != 2 {
+		t.Errorf("u1 cart after restart = %+v", items)
+	}
+	empty, err := c2.GetCart(ctx, "u2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Errorf("emptied cart resurrected: %+v", empty)
+	}
+}
+
+// TestCartWithoutPersistence confirms the default (no CART_STORE_DIR) stays
+// purely in memory.
+func TestCartWithoutPersistence(t *testing.T) {
+	t.Setenv("CART_STORE_DIR", "")
+	ctx := context.Background()
+	c := &cart{}
+	if err := c.Init(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if c.db != nil {
+		t.Error("store opened without CART_STORE_DIR")
+	}
+	if err := c.AddItem(ctx, "u", CartItem{ProductID: "P", Quantity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package boutique
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/weaver"
+)
+
+// ProductCatalog is the product catalog service: it lists, fetches, and
+// searches products.
+type ProductCatalog interface {
+	ListProducts(ctx context.Context) ([]Product, error)
+	GetProduct(ctx context.Context, id string) (Product, error)
+	SearchProducts(ctx context.Context, query string) ([]Product, error)
+}
+
+type productCatalog struct {
+	weaver.Implements[ProductCatalog]
+	byID map[string]Product
+}
+
+// Init indexes the catalog.
+func (c *productCatalog) Init(context.Context) error {
+	c.byID = make(map[string]Product, len(catalogData))
+	for _, p := range catalogData {
+		c.byID[p.ID] = p
+	}
+	return nil
+}
+
+// ListProducts returns every product in the catalog.
+func (c *productCatalog) ListProducts(context.Context) ([]Product, error) {
+	return append([]Product(nil), catalogData...), nil
+}
+
+// GetProduct returns one product by id.
+func (c *productCatalog) GetProduct(_ context.Context, id string) (Product, error) {
+	p, ok := c.byID[id]
+	if !ok {
+		return Product{}, fmt.Errorf("no product with ID %s", id)
+	}
+	return p, nil
+}
+
+// SearchProducts returns products whose name or description contains the
+// query, case-insensitively.
+func (c *productCatalog) SearchProducts(_ context.Context, query string) ([]Product, error) {
+	q := strings.ToLower(query)
+	var out []Product
+	for _, p := range catalogData {
+		if strings.Contains(strings.ToLower(p.Name), q) || strings.Contains(strings.ToLower(p.Description), q) {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package boutique
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/weaver"
+)
+
+// Checkout orchestrates order placement across seven other services, with
+// the same call structure as the original checkout service: cart →
+// catalog (per item) → currency (per price) → shipping quote → payment →
+// shipping → cart empty → email.
+type Checkout interface {
+	PlaceOrder(ctx context.Context, req PlaceOrderRequest) (Order, error)
+}
+
+type checkout struct {
+	weaver.Implements[Checkout]
+
+	cart     weaver.Ref[Cart]
+	catalog  weaver.Ref[ProductCatalog]
+	currency weaver.Ref[Currency]
+	shipping weaver.Ref[Shipping]
+	payment  weaver.Ref[Payment]
+	email    weaver.Ref[Email]
+
+	mu  sync.Mutex
+	seq int64
+}
+
+// PlaceOrder executes the full checkout flow.
+func (c *checkout) PlaceOrder(ctx context.Context, req PlaceOrderRequest) (Order, error) {
+	if req.UserID == "" {
+		return Order{}, fmt.Errorf("checkout: missing user id")
+	}
+	if req.UserCurrency == "" {
+		req.UserCurrency = "USD"
+	}
+
+	// 1. Fetch the cart.
+	items, err := c.cart.Get().GetCart(ctx, req.UserID)
+	if err != nil {
+		return Order{}, fmt.Errorf("checkout: fetching cart: %w", err)
+	}
+	if len(items) == 0 {
+		return Order{}, fmt.Errorf("checkout: cart is empty")
+	}
+
+	// 2. Price each item in the user's currency.
+	orderItems := make([]OrderItem, 0, len(items))
+	total := Money{CurrencyCode: req.UserCurrency}
+	for _, it := range items {
+		product, err := c.catalog.Get().GetProduct(ctx, it.ProductID)
+		if err != nil {
+			return Order{}, fmt.Errorf("checkout: product %s: %w", it.ProductID, err)
+		}
+		price, err := c.currency.Get().Convert(ctx, product.Price, req.UserCurrency)
+		if err != nil {
+			return Order{}, fmt.Errorf("checkout: converting price: %w", err)
+		}
+		cost := price.MultiplyInt(int64(it.Quantity))
+		orderItems = append(orderItems, OrderItem{Item: it, Cost: cost})
+		if total, err = total.Add(cost); err != nil {
+			return Order{}, fmt.Errorf("checkout: totaling: %w", err)
+		}
+	}
+
+	// 3. Quote shipping and convert it.
+	quoteUSD, err := c.shipping.Get().GetQuote(ctx, req.Address, items)
+	if err != nil {
+		return Order{}, fmt.Errorf("checkout: shipping quote: %w", err)
+	}
+	shippingCost, err := c.currency.Get().Convert(ctx, quoteUSD, req.UserCurrency)
+	if err != nil {
+		return Order{}, fmt.Errorf("checkout: converting shipping: %w", err)
+	}
+	if total, err = total.Add(shippingCost); err != nil {
+		return Order{}, fmt.Errorf("checkout: totaling shipping: %w", err)
+	}
+
+	// 4. Charge the card.
+	txn, err := c.payment.Get().Charge(ctx, total, req.CreditCard)
+	if err != nil {
+		return Order{}, fmt.Errorf("checkout: payment: %w", err)
+	}
+	c.Logger().Debug("payment complete", "txn", txn)
+
+	// 5. Ship.
+	tracking, err := c.shipping.Get().ShipOrder(ctx, req.Address, items)
+	if err != nil {
+		return Order{}, fmt.Errorf("checkout: shipping: %w", err)
+	}
+
+	// 6. Empty the cart.
+	if err := c.cart.Get().EmptyCart(ctx, req.UserID); err != nil {
+		return Order{}, fmt.Errorf("checkout: emptying cart: %w", err)
+	}
+
+	c.mu.Lock()
+	c.seq++
+	n := c.seq
+	c.mu.Unlock()
+	order := Order{
+		OrderID:            fmt.Sprintf("ORD-%08d", n),
+		ShippingTrackingID: tracking,
+		ShippingCost:       shippingCost,
+		ShippingAddress:    req.Address,
+		Items:              orderItems,
+		Total:              total,
+	}
+
+	// 7. Confirmation email (best effort, like the original).
+	if req.Email != "" {
+		if err := c.email.Get().SendOrderConfirmation(ctx, req.Email, order); err != nil {
+			c.Logger().Warn("failed to send order confirmation", "err", err.Error())
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,62 @@
+package boutique
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/weaver"
+)
+
+// Currency is the currency conversion service.
+type Currency interface {
+	GetSupportedCurrencies(ctx context.Context) ([]string, error)
+	Convert(ctx context.Context, from Money, toCode string) (Money, error)
+}
+
+type currency struct {
+	weaver.Implements[Currency]
+}
+
+// GetSupportedCurrencies lists supported currency codes, sorted.
+func (c *currency) GetSupportedCurrencies(context.Context) ([]string, error) {
+	out := make([]string, 0, len(currencyRates))
+	for code := range currencyRates {
+		out = append(out, code)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Convert converts an amount between currencies via the EUR-based rate
+// table, carrying fractional units the way the original currency service
+// does.
+func (c *currency) Convert(_ context.Context, from Money, toCode string) (Money, error) {
+	fromRate, ok := currencyRates[from.CurrencyCode]
+	if !ok {
+		return Money{}, fmt.Errorf("unsupported source currency %q", from.CurrencyCode)
+	}
+	toRate, ok := currencyRates[toCode]
+	if !ok {
+		return Money{}, fmt.Errorf("unsupported target currency %q", toCode)
+	}
+	if from.CurrencyCode == toCode {
+		return from, nil
+	}
+
+	// Convert to EUR, then to the target currency.
+	euros := (float64(from.Units) + float64(from.Nanos)/1e9) / fromRate
+	target := euros * toRate
+
+	units := int64(math.Trunc(target))
+	nanos := int32(math.Round((target - math.Trunc(target)) * 1e9))
+	if nanos >= 1e9 {
+		units++
+		nanos -= 1e9
+	} else if nanos <= -1e9 {
+		units--
+		nanos += 1e9
+	}
+	return Money{CurrencyCode: toCode, Units: units, Nanos: nanos}, nil
+}

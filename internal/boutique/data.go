@@ -1,0 +1,144 @@
+package boutique
+
+// The product catalog, currency table, and ad inventory mirror the data
+// shipped with the original Online Boutique demo.
+
+var catalogData = []Product{
+	{
+		ID: "OLJCESPC7Z", Name: "Sunglasses",
+		Description: "Add a modern touch to your outfits with these sleek aviator sunglasses.",
+		Picture:     "/static/img/products/sunglasses.jpg",
+		Price:       Money{CurrencyCode: "USD", Units: 19, Nanos: 990000000},
+		Categories:  []string{"accessories"},
+	},
+	{
+		ID: "66VCHSJNUP", Name: "Tank Top",
+		Description: "Perfectly cropped cotton tank, with a scooped neckline.",
+		Picture:     "/static/img/products/tank-top.jpg",
+		Price:       Money{CurrencyCode: "USD", Units: 18, Nanos: 990000000},
+		Categories:  []string{"clothing", "tops"},
+	},
+	{
+		ID: "1YMWWN1N4O", Name: "Watch",
+		Description: "This gold-tone stainless steel watch will work with most of your outfits.",
+		Picture:     "/static/img/products/watch.jpg",
+		Price:       Money{CurrencyCode: "USD", Units: 109, Nanos: 990000000},
+		Categories:  []string{"accessories"},
+	},
+	{
+		ID: "L9ECAV7KIM", Name: "Loafers",
+		Description: "A neat addition to your summer wardrobe.",
+		Picture:     "/static/img/products/loafers.jpg",
+		Price:       Money{CurrencyCode: "USD", Units: 89, Nanos: 990000000},
+		Categories:  []string{"footwear"},
+	},
+	{
+		ID: "2ZYFJ3GM2N", Name: "Hairdryer",
+		Description: "This lightweight hairdryer has 3 heat and speed settings.",
+		Picture:     "/static/img/products/hairdryer.jpg",
+		Price:       Money{CurrencyCode: "USD", Units: 24, Nanos: 990000000},
+		Categories:  []string{"hair", "beauty"},
+	},
+	{
+		ID: "0PUK6V6EV0", Name: "Candle Holder",
+		Description: "This small but intricate candle holder is an excellent gift.",
+		Picture:     "/static/img/products/candle-holder.jpg",
+		Price:       Money{CurrencyCode: "USD", Units: 18, Nanos: 990000000},
+		Categories:  []string{"decor", "home"},
+	},
+	{
+		ID: "LS4PSXUNUM", Name: "Salt & Pepper Shakers",
+		Description: "Add some flavor to your kitchen.",
+		Picture:     "/static/img/products/salt-and-pepper-shakers.jpg",
+		Price:       Money{CurrencyCode: "USD", Units: 18, Nanos: 490000000},
+		Categories:  []string{"kitchen"},
+	},
+	{
+		ID: "9SIQT8TOJO", Name: "Bamboo Glass Jar",
+		Description: "This bamboo glass jar can hold 57 oz (1.7 l) and is perfect for any kitchen.",
+		Picture:     "/static/img/products/bamboo-glass-jar.jpg",
+		Price:       Money{CurrencyCode: "USD", Units: 5, Nanos: 490000000},
+		Categories:  []string{"kitchen"},
+	},
+	{
+		ID: "6E92ZMYYFZ", Name: "Mug",
+		Description: "A simple mug with a mustard interior.",
+		Picture:     "/static/img/products/mug.jpg",
+		Price:       Money{CurrencyCode: "USD", Units: 8, Nanos: 990000000},
+		Categories:  []string{"kitchen"},
+	},
+	{
+		ID: "A1B2C3D4E5", Name: "City Bike",
+		Description: "This single gear bike is the perfect fit for city riding.",
+		Picture:     "/static/img/products/city-bike.jpg",
+		Price:       Money{CurrencyCode: "USD", Units: 789, Nanos: 500000000},
+		Categories:  []string{"cycling"},
+	},
+	{
+		ID: "F6G7H8I9J0", Name: "Air Plant",
+		Description: "Low-maintenance and hardy, this air plant thrives indoors.",
+		Picture:     "/static/img/products/air-plant.jpg",
+		Price:       Money{CurrencyCode: "USD", Units: 12, Nanos: 300000000},
+		Categories:  []string{"gardening"},
+	},
+	{
+		ID: "K1L2M3N4O5", Name: "Typewriter",
+		Description: "This typewriter looks good in your living room.",
+		Picture:     "/static/img/products/typewriter.jpg",
+		Price:       Money{CurrencyCode: "USD", Units: 67, Nanos: 990000000},
+		Categories:  []string{"vintage"},
+	},
+}
+
+// currencyRates is the EUR-based conversion table from the original
+// currency service.
+var currencyRates = map[string]float64{
+	"EUR": 1.0,
+	"USD": 1.1305,
+	"JPY": 126.40,
+	"BGN": 1.9558,
+	"CZK": 25.592,
+	"DKK": 7.4609,
+	"GBP": 0.85970,
+	"HUF": 315.51,
+	"PLN": 4.2996,
+	"RON": 4.7463,
+	"SEK": 10.5375,
+	"CHF": 1.1360,
+	"ISK": 136.80,
+	"NOK": 9.8040,
+	"HRK": 7.4210,
+	"RUB": 74.4208,
+	"TRY": 6.1247,
+	"AUD": 1.6072,
+	"BRL": 4.2682,
+	"CAD": 1.5128,
+	"CNY": 7.5857,
+	"HKD": 8.8743,
+	"IDR": 15999.40,
+	"ILS": 4.0875,
+	"INR": 79.4320,
+	"KRW": 1275.05,
+	"MXN": 21.7999,
+	"MYR": 4.6289,
+	"NZD": 1.6679,
+	"PHP": 59.083,
+	"SGD": 1.5349,
+	"THB": 36.012,
+	"ZAR": 15.9642,
+}
+
+var adsData = map[string][]Ad{
+	"clothing":    {{RedirectURL: "/product/66VCHSJNUP", Text: "Tank top for sale. 20% off."}},
+	"accessories": {{RedirectURL: "/product/1YMWWN1N4O", Text: "Watch for sale. Buy one, get second kit for free"}},
+	"footwear":    {{RedirectURL: "/product/L9ECAV7KIM", Text: "Loafers for sale. Buy one, get second one for free"}},
+	"hair":        {{RedirectURL: "/product/2ZYFJ3GM2N", Text: "Hairdryer for sale. 50% off."}},
+	"decor":       {{RedirectURL: "/product/0PUK6V6EV0", Text: "Candle holder for sale. 30% off."}},
+	"kitchen": {
+		{RedirectURL: "/product/9SIQT8TOJO", Text: "Bamboo glass jar for sale. 10% off."},
+		{RedirectURL: "/product/6E92ZMYYFZ", Text: "Mug for sale. Buy two, get third one for free"},
+	},
+	"cycling":   {{RedirectURL: "/product/A1B2C3D4E5", Text: "City bike for sale. 10% off."}},
+	"gardening": {{RedirectURL: "/product/F6G7H8I9J0", Text: "Air plants for sale. Buy two, get third one for free"}},
+	"vintage":   {{RedirectURL: "/product/K1L2M3N4O5", Text: "Typewriter for sale. 10% off."}},
+}

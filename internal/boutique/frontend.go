@@ -1,0 +1,279 @@
+package boutique
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/weaver"
+)
+
+// HomePage is the data behind the storefront's landing page.
+type HomePage struct {
+	Products   []Product
+	Currencies []string
+	Ad         Ad
+}
+
+// ProductPage is the data behind a product detail page.
+type ProductPage struct {
+	Product         Product
+	Price           Money
+	Recommendations []string
+	Ad              Ad
+}
+
+// CartPage is the data behind the cart view.
+type CartPage struct {
+	Items        []OrderItem
+	ShippingCost Money
+	Total        Money
+}
+
+// Frontend is the storefront: the entry point external traffic hits. It
+// exposes the application both as component methods (for programmatic
+// drivers and benchmarks) and as an HTTP/JSON API on a weaver.Listener
+// (for the load generator, playing Locust's role from §6.1).
+type Frontend interface {
+	Home(ctx context.Context, userID, currency string) (HomePage, error)
+	Product(ctx context.Context, userID, productID, currency string) (ProductPage, error)
+	AddToCart(ctx context.Context, userID, productID string, quantity int32) error
+	ViewCart(ctx context.Context, userID, currency string) (CartPage, error)
+	Checkout(ctx context.Context, req PlaceOrderRequest) (Order, error)
+	// HTTPAddr returns the address of this replica's HTTP listener.
+	HTTPAddr(ctx context.Context) (string, error)
+}
+
+type frontend struct {
+	weaver.Implements[Frontend]
+
+	catalog   weaver.Ref[ProductCatalog]
+	currency  weaver.Ref[Currency]
+	cart      weaver.Ref[Cart]
+	recommend weaver.Ref[Recommendation]
+	shipping  weaver.Ref[Shipping]
+	checkout  weaver.Ref[Checkout]
+	ads       weaver.Ref[AdService]
+
+	boutique weaver.Listener `weaver:"boutique"`
+
+	srvOnce sync.Once
+	srv     *http.Server
+}
+
+// Init starts the HTTP front door on the injected listener.
+func (f *frontend) Init(ctx context.Context) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", f.handleHome)
+	mux.HandleFunc("/product/", f.handleProduct)
+	mux.HandleFunc("/cart", f.handleCart)
+	mux.HandleFunc("/cart/checkout", f.handleCheckout)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	f.srv = &http.Server{Handler: mux}
+	go func() {
+		_ = f.srv.Serve(f.boutique.Listener)
+	}()
+	f.Logger().Info("storefront serving", "addr", f.boutique.Addr().String())
+	return nil
+}
+
+// Shutdown stops the HTTP server.
+func (f *frontend) Shutdown(ctx context.Context) error {
+	if f.srv != nil {
+		return f.srv.Shutdown(ctx)
+	}
+	return nil
+}
+
+// HTTPAddr returns the replica's HTTP listener address.
+func (f *frontend) HTTPAddr(context.Context) (string, error) {
+	return f.boutique.Addr().String(), nil
+}
+
+// Home assembles the landing page: the full catalog with prices in the
+// user's currency, the currency list, and an ad.
+func (f *frontend) Home(ctx context.Context, userID, currency string) (HomePage, error) {
+	if currency == "" {
+		currency = "USD"
+	}
+	products, err := f.catalog.Get().ListProducts(ctx)
+	if err != nil {
+		return HomePage{}, fmt.Errorf("frontend: catalog: %w", err)
+	}
+	for i := range products {
+		p, err := f.currency.Get().Convert(ctx, products[i].Price, currency)
+		if err != nil {
+			return HomePage{}, fmt.Errorf("frontend: converting price: %w", err)
+		}
+		products[i].Price = p
+	}
+	currencies, err := f.currency.Get().GetSupportedCurrencies(ctx)
+	if err != nil {
+		return HomePage{}, fmt.Errorf("frontend: currencies: %w", err)
+	}
+	ads, err := f.ads.Get().GetAds(ctx, nil)
+	if err != nil {
+		return HomePage{}, fmt.Errorf("frontend: ads: %w", err)
+	}
+	page := HomePage{Products: products, Currencies: currencies}
+	if len(ads) > 0 {
+		page.Ad = ads[0]
+	}
+	return page, nil
+}
+
+// Product assembles a product detail page.
+func (f *frontend) Product(ctx context.Context, userID, productID, currency string) (ProductPage, error) {
+	if currency == "" {
+		currency = "USD"
+	}
+	product, err := f.catalog.Get().GetProduct(ctx, productID)
+	if err != nil {
+		return ProductPage{}, fmt.Errorf("frontend: product: %w", err)
+	}
+	price, err := f.currency.Get().Convert(ctx, product.Price, currency)
+	if err != nil {
+		return ProductPage{}, fmt.Errorf("frontend: converting price: %w", err)
+	}
+	recs, err := f.recommend.Get().ListRecommendations(ctx, userID, []string{productID})
+	if err != nil {
+		return ProductPage{}, fmt.Errorf("frontend: recommendations: %w", err)
+	}
+	ads, err := f.ads.Get().GetAds(ctx, product.Categories)
+	if err != nil {
+		return ProductPage{}, fmt.Errorf("frontend: ads: %w", err)
+	}
+	page := ProductPage{Product: product, Price: price, Recommendations: recs}
+	if len(ads) > 0 {
+		page.Ad = ads[0]
+	}
+	return page, nil
+}
+
+// AddToCart validates the product and adds it to the user's cart.
+func (f *frontend) AddToCart(ctx context.Context, userID, productID string, quantity int32) error {
+	if quantity <= 0 {
+		return fmt.Errorf("frontend: quantity must be positive")
+	}
+	if _, err := f.catalog.Get().GetProduct(ctx, productID); err != nil {
+		return fmt.Errorf("frontend: product: %w", err)
+	}
+	return f.cart.Get().AddItem(ctx, userID, CartItem{ProductID: productID, Quantity: quantity})
+}
+
+// ViewCart assembles the cart page with per-item costs, a shipping quote,
+// and the total, all in the user's currency.
+func (f *frontend) ViewCart(ctx context.Context, userID, currency string) (CartPage, error) {
+	if currency == "" {
+		currency = "USD"
+	}
+	items, err := f.cart.Get().GetCart(ctx, userID)
+	if err != nil {
+		return CartPage{}, fmt.Errorf("frontend: cart: %w", err)
+	}
+	quote, err := f.shipping.Get().GetQuote(ctx, Address{}, items)
+	if err != nil {
+		return CartPage{}, fmt.Errorf("frontend: quote: %w", err)
+	}
+	shippingCost, err := f.currency.Get().Convert(ctx, quote, currency)
+	if err != nil {
+		return CartPage{}, fmt.Errorf("frontend: converting quote: %w", err)
+	}
+	page := CartPage{ShippingCost: shippingCost}
+	total := Money{CurrencyCode: currency}
+	for _, it := range items {
+		product, err := f.catalog.Get().GetProduct(ctx, it.ProductID)
+		if err != nil {
+			return CartPage{}, fmt.Errorf("frontend: product %s: %w", it.ProductID, err)
+		}
+		price, err := f.currency.Get().Convert(ctx, product.Price, currency)
+		if err != nil {
+			return CartPage{}, fmt.Errorf("frontend: converting: %w", err)
+		}
+		cost := price.MultiplyInt(int64(it.Quantity))
+		page.Items = append(page.Items, OrderItem{Item: it, Cost: cost})
+		if total, err = total.Add(cost); err != nil {
+			return CartPage{}, err
+		}
+	}
+	if total, err = total.Add(shippingCost); err != nil {
+		return CartPage{}, err
+	}
+	page.Total = total
+	return page, nil
+}
+
+// Checkout places the order.
+func (f *frontend) Checkout(ctx context.Context, req PlaceOrderRequest) (Order, error) {
+	return f.checkout.Get().PlaceOrder(ctx, req)
+}
+
+// --- HTTP front door (driven by the load generator) ---
+
+func (f *frontend) handleHome(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	page, err := f.Home(r.Context(), r.URL.Query().Get("user"), r.URL.Query().Get("currency"))
+	respond(w, page, err)
+}
+
+func (f *frontend) handleProduct(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/product/")
+	page, err := f.Product(r.Context(), r.URL.Query().Get("user"), id, r.URL.Query().Get("currency"))
+	respond(w, page, err)
+}
+
+func (f *frontend) handleCart(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		page, err := f.ViewCart(r.Context(), r.URL.Query().Get("user"), r.URL.Query().Get("currency"))
+		respond(w, page, err)
+	case http.MethodPost:
+		var body struct {
+			UserID    string
+			ProductID string
+			Quantity  int32
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		err := f.AddToCart(r.Context(), body.UserID, body.ProductID, body.Quantity)
+		respond(w, map[string]string{"status": "added"}, err)
+	case http.MethodDelete:
+		err := f.cart.Get().EmptyCart(r.Context(), r.URL.Query().Get("user"))
+		respond(w, map[string]string{"status": "emptied"}, err)
+	default:
+		http.Error(w, "unsupported method", http.StatusMethodNotAllowed)
+	}
+}
+
+func (f *frontend) handleCheckout(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req PlaceOrderRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	order, err := f.Checkout(r.Context(), req)
+	respond(w, order, err)
+}
+
+func respond(w http.ResponseWriter, v any, err error) {
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,242 @@
+package boutique
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"strings"
+	"sync"
+
+	"repro/weaver"
+)
+
+// --- Recommendation service ---
+
+// Recommendation suggests products related to the ones a user is viewing.
+type Recommendation interface {
+	ListRecommendations(ctx context.Context, userID string, productIDs []string) ([]string, error)
+}
+
+type recommendation struct {
+	weaver.Implements[Recommendation]
+	catalog weaver.Ref[ProductCatalog]
+}
+
+// ListRecommendations returns up to five catalog products the user is not
+// already looking at, like the original recommendation service.
+func (r *recommendation) ListRecommendations(ctx context.Context, userID string, productIDs []string) ([]string, error) {
+	products, err := r.catalog.Get().ListProducts(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("recommendation: listing products: %w", err)
+	}
+	exclude := map[string]bool{}
+	for _, id := range productIDs {
+		exclude[id] = true
+	}
+	var out []string
+	for _, p := range products {
+		if !exclude[p.ID] {
+			out = append(out, p.ID)
+		}
+	}
+	// Deterministic pseudo-shuffle seeded by the inputs, so results vary
+	// by user without consuming global randomness (and tests can assert).
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(userID))
+	for _, id := range productIDs {
+		_, _ = h.Write([]byte(id))
+	}
+	rng := rand.New(rand.NewPCG(h.Sum64(), 0))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	if len(out) > 5 {
+		out = out[:5]
+	}
+	return out, nil
+}
+
+// --- Shipping service ---
+
+// Shipping quotes and ships orders.
+type Shipping interface {
+	GetQuote(ctx context.Context, addr Address, items []CartItem) (Money, error)
+	// ShipOrder dispatches a shipment. It must execute at most once.
+	//
+	//weaver:noretry
+	ShipOrder(ctx context.Context, addr Address, items []CartItem) (string, error)
+}
+
+type shipping struct {
+	weaver.Implements[Shipping]
+	mu      sync.Mutex
+	shipped int64
+}
+
+// GetQuote computes a flat-rate quote: $8.99 when there is anything to
+// ship, matching the original shipping service.
+func (s *shipping) GetQuote(_ context.Context, _ Address, items []CartItem) (Money, error) {
+	var count int64
+	for _, it := range items {
+		count += int64(it.Quantity)
+	}
+	if count == 0 {
+		return Money{CurrencyCode: "USD"}, nil
+	}
+	return Money{CurrencyCode: "USD", Units: 8, Nanos: 990000000}, nil
+}
+
+// ShipOrder "ships" the order and returns a tracking id.
+func (s *shipping) ShipOrder(_ context.Context, addr Address, items []CartItem) (string, error) {
+	if len(items) == 0 {
+		return "", fmt.Errorf("shipping: nothing to ship")
+	}
+	s.mu.Lock()
+	s.shipped++
+	n := s.shipped
+	s.mu.Unlock()
+	seed := fnv.New64a()
+	fmt.Fprintf(seed, "%s/%s/%d", addr.StreetAddress, addr.City, n)
+	return fmt.Sprintf("TRK-%012X", seed.Sum64()&0xffffffffffff), nil
+}
+
+// --- Payment service ---
+
+// Payment charges credit cards.
+type Payment interface {
+	// Charge debits the card. It is not idempotent: the runtime must never
+	// retry it automatically on transport failures.
+	//
+	//weaver:noretry
+	Charge(ctx context.Context, amount Money, card CreditCard) (string, error)
+}
+
+type payment struct {
+	weaver.Implements[Payment]
+	mu  sync.Mutex
+	seq int64
+}
+
+// Charge validates the card (Luhn checksum, expiry, supported network) and
+// returns a transaction id. Only VISA (4...) and MasterCard (5...) are
+// accepted, like the original payment service.
+func (p *payment) Charge(_ context.Context, amount Money, card CreditCard) (string, error) {
+	if !amount.Valid() {
+		return "", fmt.Errorf("payment: invalid amount %+v", amount)
+	}
+	digits := strings.ReplaceAll(strings.ReplaceAll(card.Number, " ", ""), "-", "")
+	if len(digits) < 13 || len(digits) > 19 || !luhnValid(digits) {
+		return "", fmt.Errorf("payment: invalid credit card number")
+	}
+	switch digits[0] {
+	case '4', '5':
+	default:
+		return "", fmt.Errorf("payment: only VISA and MasterCard are accepted")
+	}
+	if card.ExpirationYear < 2000 || card.ExpirationMonth < 1 || card.ExpirationMonth > 12 {
+		return "", fmt.Errorf("payment: malformed expiration date")
+	}
+	// The original treats any past date as expired; we pin "now" to the
+	// card-processing epoch of the demo dataset.
+	if card.ExpirationYear < 2024 {
+		return "", fmt.Errorf("payment: card expired %d/%d", card.ExpirationMonth, card.ExpirationYear)
+	}
+	p.mu.Lock()
+	p.seq++
+	n := p.seq
+	p.mu.Unlock()
+	return fmt.Sprintf("TXN-%08d", n), nil
+}
+
+// luhnValid reports whether digits passes the Luhn checksum.
+func luhnValid(digits string) bool {
+	sum := 0
+	double := false
+	for i := len(digits) - 1; i >= 0; i-- {
+		c := digits[i]
+		if c < '0' || c > '9' {
+			return false
+		}
+		d := int(c - '0')
+		if double {
+			d *= 2
+			if d > 9 {
+				d -= 9
+			}
+		}
+		sum += d
+		double = !double
+	}
+	return sum%10 == 0
+}
+
+// --- Email service ---
+
+// Email sends transactional mail. The demo implementation records the mail
+// instead of delivering it.
+type Email interface {
+	SendOrderConfirmation(ctx context.Context, email string, order Order) error
+}
+
+type emailService struct {
+	weaver.Implements[Email]
+	mu   sync.Mutex
+	sent int64
+}
+
+// SendOrderConfirmation "sends" the confirmation email.
+func (e *emailService) SendOrderConfirmation(_ context.Context, email string, order Order) error {
+	if !strings.Contains(email, "@") {
+		return fmt.Errorf("email: invalid address %q", email)
+	}
+	e.mu.Lock()
+	e.sent++
+	e.mu.Unlock()
+	e.Logger().Debug("order confirmation sent", "to", email, "order", order.OrderID)
+	return nil
+}
+
+// --- Ad service ---
+
+// AdService serves contextual advertisements.
+type AdService interface {
+	GetAds(ctx context.Context, contextKeys []string) ([]Ad, error)
+}
+
+type adService struct {
+	weaver.Implements[AdService]
+}
+
+// GetAds returns ads matching the context keys, or random ads when nothing
+// matches, like the original ad service.
+func (a *adService) GetAds(_ context.Context, contextKeys []string) ([]Ad, error) {
+	var out []Ad
+	for _, key := range contextKeys {
+		out = append(out, adsData[key]...)
+	}
+	if len(out) == 0 {
+		// Random ads: pick two deterministically-pseudo-randomly.
+		var all []Ad
+		keys := make([]string, 0, len(adsData))
+		for k := range adsData {
+			keys = append(keys, k)
+		}
+		// Map iteration order is random enough for ad selection, but sort
+		// for determinism and pick via rand.
+		sortStrings(keys)
+		for _, k := range keys {
+			all = append(all, adsData[k]...)
+		}
+		for i := 0; i < 2 && len(all) > 0; i++ {
+			out = append(out, all[rand.IntN(len(all))])
+		}
+	}
+	return out, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package boutique is a full Go port of the "Online Boutique" microservice
+// demo used in the paper's evaluation (§6.1, reference [41]): an
+// e-commerce application with eleven services — frontend, product catalog,
+// currency, cart, recommendation, shipping, payment, email, checkout, ad,
+// and a load generator. Each service is rewritten as a weaver component,
+// exactly as the paper describes porting the app to the prototype. The
+// same component code also runs over the HTTP/JSON baseline transport for
+// the apples-to-apples comparison in Table 2.
+package boutique
+
+import (
+	"fmt"
+)
+
+// Money represents an amount in a currency, as units plus nanos
+// (1e-9 units), mirroring the original application's money type. Nanos
+// always carries the same sign as Units.
+type Money struct {
+	CurrencyCode string
+	Units        int64
+	Nanos        int32
+}
+
+const nanosMod = 1000000000
+
+// Valid reports whether the money value is well-formed: signs agree and
+// nanos is within range.
+func (m Money) Valid() bool {
+	if m.Nanos <= -nanosMod || m.Nanos >= nanosMod {
+		return false
+	}
+	sameSign := (m.Units == 0 || m.Nanos == 0) ||
+		(m.Units > 0 && m.Nanos > 0) || (m.Units < 0 && m.Nanos < 0)
+	return sameSign && m.CurrencyCode != ""
+}
+
+// IsZero reports whether the amount is zero.
+func (m Money) IsZero() bool { return m.Units == 0 && m.Nanos == 0 }
+
+// Add returns m+n. Both must be valid and share a currency.
+func (m Money) Add(n Money) (Money, error) {
+	if m.CurrencyCode != n.CurrencyCode {
+		return Money{}, fmt.Errorf("boutique: mismatched currencies %q and %q", m.CurrencyCode, n.CurrencyCode)
+	}
+	units := m.Units + n.Units
+	nanos := int64(m.Nanos) + int64(n.Nanos)
+	// Carry.
+	units += nanos / nanosMod
+	nanos %= nanosMod
+	// Normalize signs.
+	if units > 0 && nanos < 0 {
+		units--
+		nanos += nanosMod
+	} else if units < 0 && nanos > 0 {
+		units++
+		nanos -= nanosMod
+	}
+	return Money{CurrencyCode: m.CurrencyCode, Units: units, Nanos: int32(nanos)}, nil
+}
+
+// MultiplyInt returns m*k.
+func (m Money) MultiplyInt(k int64) Money {
+	totalNanos := int64(m.Nanos) * k
+	units := m.Units*k + totalNanos/nanosMod
+	nanos := totalNanos % nanosMod
+	if units > 0 && nanos < 0 {
+		units--
+		nanos += nanosMod
+	} else if units < 0 && nanos > 0 {
+		units++
+		nanos -= nanosMod
+	}
+	return Money{CurrencyCode: m.CurrencyCode, Units: units, Nanos: int32(nanos)}
+}
+
+// Float returns the amount as a float64 (for display only).
+func (m Money) Float() float64 {
+	return float64(m.Units) + float64(m.Nanos)/nanosMod
+}
+
+// String renders the amount like "19.99 USD".
+func (m Money) String() string {
+	return fmt.Sprintf("%.2f %s", m.Float(), m.CurrencyCode)
+}
+
+// Product is one catalog item.
+type Product struct {
+	ID          string
+	Name        string
+	Description string
+	Picture     string
+	Price       Money
+	Categories  []string
+}
+
+// CartItem is a product and quantity in a user's cart.
+type CartItem struct {
+	ProductID string
+	Quantity  int32
+}
+
+// Address is a shipping address.
+type Address struct {
+	StreetAddress string
+	City          string
+	State         string
+	Country       string
+	ZipCode       int32
+}
+
+// CreditCard is the payment instrument for checkout.
+type CreditCard struct {
+	Number          string
+	CVV             int32
+	ExpirationYear  int32
+	ExpirationMonth int32
+}
+
+// OrderItem is one purchased item with its cost at purchase time.
+type OrderItem struct {
+	Item CartItem
+	Cost Money
+}
+
+// Order is the result of a successful checkout.
+type Order struct {
+	OrderID            string
+	ShippingTrackingID string
+	ShippingCost       Money
+	ShippingAddress    Address
+	Items              []OrderItem
+	Total              Money
+}
+
+// PlaceOrderRequest carries everything checkout needs.
+type PlaceOrderRequest struct {
+	UserID       string
+	UserCurrency string
+	Address      Address
+	Email        string
+	CreditCard   CreditCard
+}
+
+// Ad is one advertisement.
+type Ad struct {
+	RedirectURL string
+	Text        string
+}

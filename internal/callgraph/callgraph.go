@@ -1,0 +1,334 @@
+// Package callgraph builds the fine-grained component call graph the paper
+// describes in §5.1: who calls whom, how often, how many bytes cross each
+// edge, and how long calls take. The runtime feeds it from stubs; the
+// manager uses it to identify chatty component pairs (candidates for
+// co-location), bottleneck components, and the critical path of a request.
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/tracing"
+)
+
+// An Edge aggregates statistics for calls from one component to another.
+// "client" is the synthetic caller for calls entering from outside any
+// component (e.g. an HTTP front door).
+type Edge struct {
+	Caller string `tag:"1"`
+	Callee string `tag:"2"`
+	Method string `tag:"3"`
+
+	Calls      uint64 `tag:"4"`
+	Errors     uint64 `tag:"5"`
+	Bytes      uint64 `tag:"6"` // serialized request+response bytes
+	TotalNanos int64  `tag:"7"` // sum of call latencies
+	Remote     uint64 `tag:"8"` // calls that crossed a process boundary
+}
+
+// MeanLatency returns the average latency of calls on this edge.
+func (e *Edge) MeanLatency() time.Duration {
+	if e.Calls == 0 {
+		return 0
+	}
+	return time.Duration(e.TotalNanos / int64(e.Calls))
+}
+
+type edgeKey struct {
+	caller, callee, method string
+}
+
+// A Collector accumulates edges. It is safe for concurrent use and cheap
+// enough to run always-on.
+type Collector struct {
+	mu    sync.Mutex
+	edges map[edgeKey]*Edge
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{edges: map[edgeKey]*Edge{}}
+}
+
+// Record adds one call observation.
+func (c *Collector) Record(caller, callee, method string, d time.Duration, bytes int, remote, errored bool) {
+	if c == nil {
+		return
+	}
+	k := edgeKey{caller, callee, method}
+	c.mu.Lock()
+	e := c.edges[k]
+	if e == nil {
+		e = &Edge{Caller: caller, Callee: callee, Method: method}
+		c.edges[k] = e
+	}
+	e.Calls++
+	e.TotalNanos += d.Nanoseconds()
+	e.Bytes += uint64(bytes)
+	if remote {
+		e.Remote++
+	}
+	if errored {
+		e.Errors++
+	}
+	c.mu.Unlock()
+}
+
+// Edges returns a copy of all edges, sorted by (caller, callee, method).
+func (c *Collector) Edges() []Edge {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Edge, 0, len(c.edges))
+	for _, e := range c.edges {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Caller != b.Caller {
+			return a.Caller < b.Caller
+		}
+		if a.Callee != b.Callee {
+			return a.Callee < b.Callee
+		}
+		return a.Method < b.Method
+	})
+	return out
+}
+
+// Reset discards all recorded edges.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.edges = map[edgeKey]*Edge{}
+	c.mu.Unlock()
+}
+
+// Drain atomically returns all recorded edges and resets the collector.
+// Proclets use it to ship deltas to the manager.
+func (c *Collector) Drain() []Edge {
+	c.mu.Lock()
+	edges := c.edges
+	c.edges = map[edgeKey]*Edge{}
+	c.mu.Unlock()
+	out := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Caller != b.Caller {
+			return a.Caller < b.Caller
+		}
+		if a.Callee != b.Callee {
+			return a.Callee < b.Callee
+		}
+		return a.Method < b.Method
+	})
+	return out
+}
+
+// Merge folds a batch of edges (e.g. shipped from another replica) into c.
+func (c *Collector) Merge(batch []Edge) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, in := range batch {
+		k := edgeKey{in.Caller, in.Callee, in.Method}
+		e := c.edges[k]
+		if e == nil {
+			cp := in
+			c.edges[k] = &cp
+			continue
+		}
+		e.Calls += in.Calls
+		e.Errors += in.Errors
+		e.Bytes += in.Bytes
+		e.TotalNanos += in.TotalNanos
+		e.Remote += in.Remote
+	}
+}
+
+// A Graph is an analyzed snapshot of the call graph.
+type Graph struct {
+	Edges []Edge
+}
+
+// Analyze builds a Graph from the collector's current edges.
+func (c *Collector) Analyze() *Graph {
+	return &Graph{Edges: c.Edges()}
+}
+
+// Components returns all component names appearing in the graph, sorted.
+func (g *Graph) Components() []string {
+	set := map[string]bool{}
+	for _, e := range g.Edges {
+		if e.Caller != "" {
+			set[e.Caller] = true
+		}
+		set[e.Callee] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PairTraffic aggregates bidirectional traffic between unordered component
+// pairs, used to find chatty pairs.
+type PairTraffic struct {
+	A, B  string
+	Calls uint64
+	Bytes uint64
+}
+
+// ChattyPairs returns component pairs ordered by descending call volume.
+// These are the co-location candidates of §5.1.
+func (g *Graph) ChattyPairs() []PairTraffic {
+	agg := map[[2]string]*PairTraffic{}
+	for _, e := range g.Edges {
+		if e.Caller == "" || e.Caller == e.Callee {
+			continue
+		}
+		a, b := e.Caller, e.Callee
+		if a > b {
+			a, b = b, a
+		}
+		k := [2]string{a, b}
+		p := agg[k]
+		if p == nil {
+			p = &PairTraffic{A: a, B: b}
+			agg[k] = p
+		}
+		p.Calls += e.Calls
+		p.Bytes += e.Bytes
+	}
+	out := make([]PairTraffic, 0, len(agg))
+	for _, p := range agg {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Calls != out[j].Calls {
+			return out[i].Calls > out[j].Calls
+		}
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].A+out[i].B < out[j].A+out[j].B
+	})
+	return out
+}
+
+// Load describes one component's aggregate call load.
+type Load struct {
+	Component  string
+	Calls      uint64
+	TotalNanos int64
+}
+
+// Bottlenecks returns components ordered by descending total busy time
+// (sum of inbound call latencies): the components where requests spend the
+// most time.
+func (g *Graph) Bottlenecks() []Load {
+	agg := map[string]*Load{}
+	for _, e := range g.Edges {
+		l := agg[e.Callee]
+		if l == nil {
+			l = &Load{Component: e.Callee}
+			agg[e.Callee] = l
+		}
+		l.Calls += e.Calls
+		l.TotalNanos += e.TotalNanos
+	}
+	out := make([]Load, 0, len(agg))
+	for _, l := range agg {
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalNanos != out[j].TotalNanos {
+			return out[i].TotalNanos > out[j].TotalNanos
+		}
+		return out[i].Component < out[j].Component
+	})
+	return out
+}
+
+// Dot renders the graph in Graphviz dot format, with edges weighted by
+// call volume. Useful for the CLI's "graph" subcommand and debugging.
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph components {\n  rankdir=LR;\n")
+	for _, c := range g.Components() {
+		fmt.Fprintf(&b, "  %q;\n", shortName(c))
+	}
+	agg := map[[2]string]uint64{}
+	for _, e := range g.Edges {
+		caller := e.Caller
+		if caller == "" {
+			caller = "client"
+		}
+		agg[[2]string{caller, e.Callee}] += e.Calls
+	}
+	keys := make([][2]string, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%d\"];\n", shortName(k[0]), shortName(k[1]), agg[k])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func shortName(full string) string {
+	if i := strings.LastIndexByte(full, '/'); i >= 0 {
+		return full[i+1:]
+	}
+	return full
+}
+
+// CriticalPath reconstructs the longest-latency chain of spans in one
+// trace: the sequence of calls that determined the request's end-to-end
+// latency. Spans must all belong to the same trace.
+func CriticalPath(spans []tracing.Span) []tracing.Span {
+	if len(spans) == 0 {
+		return nil
+	}
+	children := map[uint64][]tracing.Span{}
+	byID := map[uint64]tracing.Span{}
+	var roots []tracing.Span
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		if _, ok := byID[s.Parent]; ok && s.Parent != 0 {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	// The root with the longest duration anchors the path; then greedily
+	// descend into the child with the latest end time, which is the one
+	// that gated the parent's completion.
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Duration() > roots[j].Duration() })
+	var path []tracing.Span
+	cur := roots[0]
+	for {
+		path = append(path, cur)
+		kids := children[cur.ID]
+		if len(kids) == 0 {
+			return path
+		}
+		sort.Slice(kids, func(i, j int) bool { return kids[i].EndNanos > kids[j].EndNanos })
+		cur = kids[0]
+	}
+}

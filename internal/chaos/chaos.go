@@ -1,0 +1,215 @@
+// Package chaos implements the automated fault-tolerance testing the paper
+// argues atomic single-binary deployment makes possible (§5.3): "end-to-end
+// tests become simple unit tests ... opening the door to automated fault
+// tolerance testing, akin to chaos testing, Jepsen testing, and model
+// checking."
+//
+// A chaos Run drives an application (deployed in-process across real
+// control-plane pipes and real TCP data planes) with client workload while
+// systematically injecting faults — replica crashes and restarts — and
+// checks user-supplied invariants throughout. Because the whole distributed
+// application lives in one test process, the harness can do in minutes what
+// takes a fleet of microservices a dedicated staging environment.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/deploy"
+)
+
+// Fault is one kind of injected failure.
+type Fault int
+
+// Supported faults.
+const (
+	// CrashReplica abruptly terminates a random replica of a target group;
+	// the manager is expected to restart it.
+	CrashReplica Fault = iota
+)
+
+// Options configures a chaos run.
+type Options struct {
+	// Deployment is the running in-process deployment under test.
+	Deployment *deploy.InProcess
+	// TargetGroups are the groups whose replicas get crashed. Empty means
+	// every non-main group.
+	TargetGroups []string
+	// Faults is the total number of faults to inject.
+	Faults int
+	// MeanBetweenFaults is the average pause between injections
+	// (default 200ms).
+	MeanBetweenFaults time.Duration
+	// Workload issues one application request; it is called continuously
+	// from several goroutines for the duration of the run. Errors are
+	// recorded, not fatal: crashes make transient errors expected.
+	Workload func(ctx context.Context) error
+	// WorkloadParallelism is the number of workload goroutines (default 4).
+	WorkloadParallelism int
+	// Invariant is checked after every fault has healed and at the end of
+	// the run; any error fails the run.
+	Invariant func(ctx context.Context) error
+	// SettleTime is how long to wait after the last fault before the final
+	// invariant check (default 2s).
+	SettleTime time.Duration
+	// Seed makes fault schedules reproducible.
+	Seed uint64
+}
+
+// Result summarizes a chaos run.
+type Result struct {
+	FaultsInjected  int
+	Requests        uint64
+	Errors          uint64
+	InvariantErrors []string
+	// LongestOutage is the longest stretch of consecutive workload errors
+	// observed, as a proxy for unavailability.
+	LongestOutage time.Duration
+}
+
+// Failed reports whether the run detected a correctness problem (invariant
+// violations). Transient workload errors during crashes are not failures.
+func (r *Result) Failed() bool { return len(r.InvariantErrors) > 0 }
+
+// Run executes the chaos schedule and returns findings.
+func Run(ctx context.Context, opts Options) (*Result, error) {
+	if opts.Deployment == nil {
+		return nil, fmt.Errorf("chaos: no deployment")
+	}
+	if opts.Workload == nil {
+		return nil, fmt.Errorf("chaos: no workload")
+	}
+	if opts.Faults <= 0 {
+		opts.Faults = 5
+	}
+	if opts.MeanBetweenFaults <= 0 {
+		opts.MeanBetweenFaults = 200 * time.Millisecond
+	}
+	if opts.WorkloadParallelism <= 0 {
+		opts.WorkloadParallelism = 4
+	}
+	if opts.SettleTime <= 0 {
+		opts.SettleTime = 2 * time.Second
+	}
+	rng := rand.New(rand.NewPCG(opts.Seed, 0xc0ffee))
+
+	targets := opts.TargetGroups
+	if len(targets) == 0 {
+		for _, g := range opts.Deployment.Manager.Status() {
+			if g.Name != "main" && len(g.Replicas) > 0 {
+				targets = append(targets, g.Name)
+			}
+		}
+		sort.Strings(targets)
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("chaos: no target groups with replicas")
+	}
+
+	res := &Result{}
+	var reqs, errs atomic.Uint64
+
+	// Outage tracking: the start of the current error streak.
+	var outageMu sync.Mutex
+	var outageStart time.Time
+	var longest time.Duration
+	noteResult := func(err error) {
+		outageMu.Lock()
+		defer outageMu.Unlock()
+		if err != nil {
+			if outageStart.IsZero() {
+				outageStart = time.Now()
+			}
+			return
+		}
+		if !outageStart.IsZero() {
+			if d := time.Since(outageStart); d > longest {
+				longest = d
+			}
+			outageStart = time.Time{}
+		}
+	}
+
+	wctx, stopWorkload := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	for i := 0; i < opts.WorkloadParallelism; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for wctx.Err() == nil {
+				rctx, cancel := context.WithTimeout(wctx, 2*time.Second)
+				err := opts.Workload(rctx)
+				cancel()
+				if wctx.Err() != nil {
+					return
+				}
+				reqs.Add(1)
+				if err != nil {
+					errs.Add(1)
+				}
+				noteResult(err)
+			}
+		}()
+	}
+
+	// Inject faults.
+	for i := 0; i < opts.Faults; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		pause := time.Duration(rng.ExpFloat64() * float64(opts.MeanBetweenFaults))
+		select {
+		case <-time.After(pause):
+		case <-ctx.Done():
+		}
+
+		group := targets[rng.IntN(len(targets))]
+		status := opts.Deployment.Manager.Status()
+		var replicaIDs []string
+		for _, g := range status {
+			if g.Name == group {
+				for _, r := range g.Replicas {
+					replicaIDs = append(replicaIDs, r.ID)
+				}
+			}
+		}
+		if len(replicaIDs) == 0 {
+			continue
+		}
+		victim := replicaIDs[rng.IntN(len(replicaIDs))]
+		if opts.Deployment.KillReplica(victim) {
+			res.FaultsInjected++
+		}
+	}
+
+	// Let the manager heal, then run the invariant.
+	time.Sleep(opts.SettleTime)
+	stopWorkload()
+	wg.Wait()
+
+	res.Requests = reqs.Load()
+	res.Errors = errs.Load()
+	outageMu.Lock()
+	if !outageStart.IsZero() {
+		if d := time.Since(outageStart); d > longest {
+			longest = d
+		}
+	}
+	res.LongestOutage = longest
+	outageMu.Unlock()
+
+	if opts.Invariant != nil {
+		ictx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		if err := opts.Invariant(ictx); err != nil {
+			res.InvariantErrors = append(res.InvariantErrors, err.Error())
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/deploy"
+	"repro/internal/logging"
+	"repro/internal/manager"
+	"repro/internal/testpkg"
+	"repro/weaver"
+)
+
+func fill(impl any, name string, logger *logging.Logger, resolve func(reflect.Type) (any, error)) error {
+	return weaver.FillComponent(impl, name, logger, resolve, nil)
+}
+
+func TestChaosEchoSurvivesCrashes(t *testing.T) {
+	ctx := context.Background()
+	d, err := deploy.StartInProcess(ctx, deploy.Options{
+		Config: manager.Config{
+			App: "chaos-test",
+			Autoscale: map[string]autoscale.Config{
+				"Echo": {MinReplicas: 2, MaxReplicas: 2},
+			},
+		},
+		Fill: fill,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+
+	echoClient, err := deploy.Get[testpkg.Echo](ctx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the route.
+	if _, err := echoClient.Echo(ctx, "prime"); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Run(ctx, Options{
+		Deployment:        d,
+		TargetGroups:      []string{"Echo"},
+		Faults:            4,
+		MeanBetweenFaults: 150 * time.Millisecond,
+		SettleTime:        2 * time.Second,
+		Seed:              1,
+		Workload: func(ctx context.Context) error {
+			_, err := echoClient.Echo(ctx, "hello")
+			return err
+		},
+		Invariant: func(ctx context.Context) error {
+			got, err := echoClient.Echo(ctx, "final")
+			if err != nil {
+				return fmt.Errorf("echo unavailable after healing: %w", err)
+			}
+			if got != "final" {
+				return fmt.Errorf("echo corrupted: %q", got)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("invariant violations: %v", res.InvariantErrors)
+	}
+	if res.FaultsInjected == 0 {
+		t.Error("no faults injected")
+	}
+	if res.Requests == 0 {
+		t.Error("no workload executed")
+	}
+	// With 2 replicas and transparent retry, most requests must succeed
+	// even while replicas crash.
+	if res.Errors*5 > res.Requests {
+		t.Errorf("error rate too high: %d/%d", res.Errors, res.Requests)
+	}
+	t.Logf("chaos: %d faults, %d requests, %d errors, longest outage %v",
+		res.FaultsInjected, res.Requests, res.Errors, res.LongestOutage)
+}
+
+func TestChaosDetectsStateLoss(t *testing.T) {
+	// Counter keeps replica-local state with no replication: crashing its
+	// only replica MUST lose counts, and the invariant must catch it. This
+	// verifies the harness actually detects bugs (a chaos harness that
+	// never fails is worthless).
+	ctx := context.Background()
+	d, err := deploy.StartInProcess(ctx, deploy.Options{
+		Config: manager.Config{
+			App: "chaos-test2",
+			Autoscale: map[string]autoscale.Config{
+				"Counter": {MinReplicas: 1, MaxReplicas: 1},
+			},
+		},
+		Fill: fill,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+
+	counter, err := deploy.Get[testpkg.Counter](ctx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := counter.Add(ctx, "k", 100); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Run(ctx, Options{
+		Deployment:   d,
+		TargetGroups: []string{"Counter"},
+		Faults:       1,
+		SettleTime:   2 * time.Second,
+		Seed:         2,
+		Workload: func(ctx context.Context) error {
+			_, err := counter.Value(ctx, "k")
+			return err
+		},
+		Invariant: func(ctx context.Context) error {
+			v, err := counter.Value(ctx, "k")
+			if err != nil {
+				return err
+			}
+			if v != 100 {
+				return fmt.Errorf("count lost: got %d, want 100", v)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Error("chaos run failed to detect unreplicated state loss")
+	}
+}
+
+func TestRunRejectsMissingPieces(t *testing.T) {
+	if _, err := Run(context.Background(), Options{}); err == nil {
+		t.Error("Run without deployment succeeded")
+	}
+}

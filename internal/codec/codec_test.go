@@ -1,0 +1,466 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScalarRoundTrips(t *testing.T) {
+	var e Encoder
+	e.Bool(true)
+	e.Bool(false)
+	e.Uint8(0xab)
+	e.Int8(-5)
+	e.Uint16(0xbeef)
+	e.Int16(-12345)
+	e.Uint32(0xdeadbeef)
+	e.Int32(-123456789)
+	e.Uint64(0xdeadbeefcafebabe)
+	e.Int64(-1234567890123)
+	e.Int(-42)
+	e.Uint(42)
+	e.Float32(3.5)
+	e.Float64(-2.25)
+	e.Complex64(complex(1, 2))
+	e.Complex128(complex(-3, 4))
+	e.String("hello, world")
+	e.Bytes([]byte{1, 2, 3})
+	e.Varint(300)
+
+	d := NewDecoder(e.Data())
+	if got := d.Bool(); got != true {
+		t.Errorf("Bool = %v, want true", got)
+	}
+	if got := d.Bool(); got != false {
+		t.Errorf("Bool = %v, want false", got)
+	}
+	if got := d.Uint8(); got != 0xab {
+		t.Errorf("Uint8 = %#x", got)
+	}
+	if got := d.Int8(); got != -5 {
+		t.Errorf("Int8 = %d", got)
+	}
+	if got := d.Uint16(); got != 0xbeef {
+		t.Errorf("Uint16 = %#x", got)
+	}
+	if got := d.Int16(); got != -12345 {
+		t.Errorf("Int16 = %d", got)
+	}
+	if got := d.Uint32(); got != 0xdeadbeef {
+		t.Errorf("Uint32 = %#x", got)
+	}
+	if got := d.Int32(); got != -123456789 {
+		t.Errorf("Int32 = %d", got)
+	}
+	if got := d.Uint64(); got != 0xdeadbeefcafebabe {
+		t.Errorf("Uint64 = %#x", got)
+	}
+	if got := d.Int64(); got != -1234567890123 {
+		t.Errorf("Int64 = %d", got)
+	}
+	if got := d.Int(); got != -42 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := d.Uint(); got != 42 {
+		t.Errorf("Uint = %d", got)
+	}
+	if got := d.Float32(); got != 3.5 {
+		t.Errorf("Float32 = %v", got)
+	}
+	if got := d.Float64(); got != -2.25 {
+		t.Errorf("Float64 = %v", got)
+	}
+	if got := d.Complex64(); got != complex(1, 2) {
+		t.Errorf("Complex64 = %v", got)
+	}
+	if got := d.Complex128(); got != complex(-3, 4) {
+		t.Errorf("Complex128 = %v", got)
+	}
+	if got := d.String(); got != "hello, world" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes = %v", got)
+	}
+	if got := d.Varint(); got != 300 {
+		t.Errorf("Varint = %d", got)
+	}
+	if !d.Done() {
+		t.Errorf("decoder not done, %d bytes remain", d.Remaining())
+	}
+}
+
+func TestNoTypeInformationOnWire(t *testing.T) {
+	// The headline property from the paper: an encoded uint64 is exactly 8
+	// bytes, a string is exactly varint(len)+len bytes. No tags, no types.
+	var e Encoder
+	e.Uint64(7)
+	if e.Len() != 8 {
+		t.Errorf("uint64 encoded to %d bytes, want 8", e.Len())
+	}
+	e.Reset()
+	e.String("abc")
+	if e.Len() != 4 { // 1 length byte + 3 payload bytes
+		t.Errorf("string encoded to %d bytes, want 4", e.Len())
+	}
+}
+
+func TestDecodeErrorTruncated(t *testing.T) {
+	var e Encoder
+	e.Uint64(12345)
+	for cut := 0; cut < 8; cut++ {
+		err := func() (err error) {
+			defer Catch(&err)
+			d := NewDecoder(e.Data()[:cut])
+			d.Uint64()
+			return nil
+		}()
+		var de *DecodeError
+		if !errors.As(err, &de) {
+			t.Errorf("cut=%d: got %v, want *DecodeError", cut, err)
+		}
+	}
+}
+
+func TestDecodeErrorBadBool(t *testing.T) {
+	err := func() (err error) {
+		defer Catch(&err)
+		NewDecoder([]byte{7}).Bool()
+		return nil
+	}()
+	if err == nil {
+		t.Fatal("decoding byte 7 as bool succeeded, want error")
+	}
+}
+
+func TestDecodeErrorHugeLength(t *testing.T) {
+	// A length prefix larger than the remaining input must fail before
+	// allocating.
+	var e Encoder
+	e.Varint(1 << 40)
+	err := func() (err error) {
+		defer Catch(&err)
+		_ = NewDecoder(e.Data()).String()
+		return nil
+	}()
+	if err == nil {
+		t.Fatal("huge length accepted")
+	}
+}
+
+func TestCatchPassesThroughForeignPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want boom", r)
+		}
+	}()
+	var err error
+	func() {
+		defer Catch(&err)
+		panic("boom")
+	}()
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	var e Encoder
+	e.Error(nil)
+	e.Error(errors.New("kaput"))
+	d := NewDecoder(e.Data())
+	if err := d.Error(); err != nil {
+		t.Errorf("nil error decoded as %v", err)
+	}
+	err := d.Error()
+	if err == nil || err.Error() != "kaput" {
+		t.Errorf("error decoded as %v, want kaput", err)
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Errorf("decoded error is %T, want *RemoteError", err)
+	}
+}
+
+type inner struct {
+	A int32
+	B string
+}
+
+type outer struct {
+	Name    string
+	Count   int
+	Ratio   float64
+	Flags   []bool
+	KV      map[string]int64
+	Nested  inner
+	PtrSet  *inner
+	PtrNil  *inner
+	Blob    []byte
+	When    time.Time
+	HowLong time.Duration
+	Matrix  [][]float32
+	Fixed   [3]uint16
+
+	hidden int // unexported: skipped
+	Skip   int `weaver:"-"`
+}
+
+func TestAutoRoundTrip(t *testing.T) {
+	in := outer{
+		Name:    "weaver",
+		Count:   -7,
+		Ratio:   1.75,
+		Flags:   []bool{true, false, true},
+		KV:      map[string]int64{"a": 1, "b": -2},
+		Nested:  inner{A: 9, B: "nested"},
+		PtrSet:  &inner{A: -1, B: "ptr"},
+		Blob:    []byte{9, 8, 7},
+		When:    time.Unix(123456, 789).UTC(),
+		HowLong: 90 * time.Second,
+		Matrix:  [][]float32{{1, 2}, {3}},
+		Fixed:   [3]uint16{10, 20, 30},
+		hidden:  99,
+		Skip:    42,
+	}
+	data := Marshal(in)
+	var out outer
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	in.hidden = 0 // skipped fields decode to zero
+	in.Skip = 0
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestAutoDeterministicMaps(t *testing.T) {
+	m := map[string]int{"x": 1, "y": 2, "z": 3, "w": 4, "v": 5}
+	first := Marshal(m)
+	for i := 0; i < 20; i++ {
+		if got := Marshal(m); !bytes.Equal(got, first) {
+			t.Fatalf("map encoding nondeterministic on iteration %d", i)
+		}
+	}
+}
+
+func TestAutoNilVsEmptySlice(t *testing.T) {
+	type s struct{ V []int }
+	var out s
+	if err := Unmarshal(Marshal(s{V: nil}), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.V) != 0 {
+		t.Errorf("nil slice decoded to %v", out.V)
+	}
+}
+
+type listNode struct {
+	Val  int
+	Next *listNode
+}
+
+func TestAutoRecursiveType(t *testing.T) {
+	in := &listNode{Val: 1, Next: &listNode{Val: 2, Next: &listNode{Val: 3}}}
+	var out *listNode
+	if err := Unmarshal(Marshal(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	for want := 1; want <= 3; want++ {
+		if out == nil || out.Val != want {
+			t.Fatalf("list decoded wrong at %d: %+v", want, out)
+		}
+		out = out.Next
+	}
+	if out != nil {
+		t.Errorf("list has trailing nodes")
+	}
+}
+
+type customMarshal struct {
+	X int
+	Y int
+}
+
+func (c customMarshal) WeaverMarshal(e *Encoder) {
+	e.Int(c.X + 1000)
+	e.Int(c.Y)
+}
+
+func (c *customMarshal) WeaverUnmarshal(d *Decoder) {
+	c.X = d.Int() - 1000
+	c.Y = d.Int()
+}
+
+func TestCustomMarshalerPreferred(t *testing.T) {
+	in := customMarshal{X: 5, Y: 6}
+	data := Marshal(in)
+	// The custom encoding writes X+1000 first; verify it was used.
+	d := NewDecoder(data)
+	if got := d.Int(); got != 1005 {
+		t.Fatalf("custom marshaler not used: first int = %d", got)
+	}
+	var out customMarshal
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip = %+v, want %+v", out, in)
+	}
+}
+
+func TestUnmarshalTrailingBytes(t *testing.T) {
+	data := append(Marshal(int64(1)), 0xff)
+	var v int64
+	if err := Unmarshal(data, &v); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestUnmarshalBadTarget(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Decode into non-pointer did not panic")
+		}
+	}()
+	var v int
+	Decode(NewDecoder(nil), v)
+}
+
+// Property-based round-trip tests over randomly generated values.
+
+type quickStruct struct {
+	B   bool
+	I8  int8
+	I16 int16
+	I32 int32
+	I64 int64
+	U8  uint8
+	U16 uint16
+	U32 uint32
+	U64 uint64
+	F32 float32
+	F64 float64
+	S   string
+	BS  []byte
+	IS  []int32
+	M   map[int16]string
+	P   *int64
+	A   [4]byte
+}
+
+func TestQuickAutoRoundTrip(t *testing.T) {
+	f := func(in quickStruct) bool {
+		data := Marshal(in)
+		var out quickStruct
+		if err := Unmarshal(data, &out); err != nil {
+			t.Logf("unmarshal error: %v", err)
+			return false
+		}
+		return quickEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// quickEqual compares with nil/empty slice and map equivalence and NaN
+// equality, which DeepEqual does not provide.
+func quickEqual(a, b quickStruct) bool {
+	normF32 := func(f float32) float32 {
+		if f != f {
+			return float32(math.NaN())
+		}
+		return f
+	}
+	_ = normF32
+	if a.B != b.B || a.I8 != b.I8 || a.I16 != b.I16 || a.I32 != b.I32 || a.I64 != b.I64 ||
+		a.U8 != b.U8 || a.U16 != b.U16 || a.U32 != b.U32 || a.U64 != b.U64 || a.S != b.S || a.A != b.A {
+		return false
+	}
+	if !(a.F32 == b.F32 || (a.F32 != a.F32 && b.F32 != b.F32)) {
+		return false
+	}
+	if !(a.F64 == b.F64 || (a.F64 != a.F64 && b.F64 != b.F64)) {
+		return false
+	}
+	if !bytes.Equal(a.BS, b.BS) {
+		return false
+	}
+	if len(a.IS) != len(b.IS) {
+		return false
+	}
+	for i := range a.IS {
+		if a.IS[i] != b.IS[i] {
+			return false
+		}
+	}
+	if len(a.M) != len(b.M) {
+		return false
+	}
+	for k, v := range a.M {
+		if bv, ok := b.M[k]; !ok || bv != v {
+			return false
+		}
+	}
+	if (a.P == nil) != (b.P == nil) {
+		return false
+	}
+	if a.P != nil && *a.P != *b.P {
+		return false
+	}
+	return true
+}
+
+func TestQuickVarint(t *testing.T) {
+	f := func(v uint64) bool {
+		var e Encoder
+		e.Varint(v)
+		d := NewDecoder(e.Data())
+		return d.Varint() == v && d.Done()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringNeverPanicsOnGarbage(t *testing.T) {
+	// Decoding arbitrary bytes must either succeed or produce a DecodeError,
+	// never an uncontrolled panic or a huge allocation.
+	f := func(data []byte) bool {
+		err := func() (err error) {
+			defer Catch(&err)
+			d := NewDecoder(data)
+			_ = d.String()
+			return nil
+		}()
+		_ = err
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	var e Encoder
+	e.String("first")
+	e.Reset()
+	e.Uint8(7)
+	if e.Len() != 1 || e.Data()[0] != 7 {
+		t.Errorf("after Reset: %v", e.Data())
+	}
+}
+
+func TestNegativeLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Len64(-1) did not panic")
+		}
+	}()
+	var e Encoder
+	e.Len64(-1)
+}

@@ -1,0 +1,139 @@
+package tagged
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Deeper structural coverage of the tagged (proto-like) format.
+
+type leaf struct {
+	N int64  `tag:"1"`
+	S string `tag:"2"`
+}
+
+type branch struct {
+	Leaves []leaf          `tag:"1"`
+	ByName map[string]leaf `tag:"2"`
+	Self   *branch         `tag:"3"`
+}
+
+func TestNestedRepeatedMessages(t *testing.T) {
+	in := branch{
+		Leaves: []leaf{{N: 1, S: "a"}, {N: 2, S: "b"}, {}},
+		ByName: map[string]leaf{"x": {N: 9, S: "nine"}},
+		Self: &branch{
+			Leaves: []leaf{{N: 3}},
+		},
+	}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out branch
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Leaves) != 3 || out.Leaves[1].S != "b" {
+		t.Errorf("leaves = %+v", out.Leaves)
+	}
+	if out.ByName["x"].N != 9 {
+		t.Errorf("map = %+v", out.ByName)
+	}
+	if out.Self == nil || len(out.Self.Leaves) != 1 || out.Self.Leaves[0].N != 3 {
+		t.Errorf("self = %+v", out.Self)
+	}
+}
+
+func TestMapOfMessagesAcrossVersions(t *testing.T) {
+	// A reader that only knows half the fields still gets the map intact.
+	type leafV2 struct {
+		N     int64  `tag:"1"`
+		S     string `tag:"2"`
+		Extra bool   `tag:"3"`
+	}
+	type holderV2 struct {
+		ByName map[string]leafV2 `tag:"2"`
+	}
+	in := holderV2{ByName: map[string]leafV2{"k": {N: 5, S: "five", Extra: true}}}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out branch // field 2 is map[string]leaf; leaf lacks Extra
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out.ByName["k"]
+	if !ok || got.N != 5 || got.S != "five" {
+		t.Errorf("cross-version map = %+v", out.ByName)
+	}
+}
+
+func TestRepeatedEmptyMessages(t *testing.T) {
+	in := branch{Leaves: []leaf{{}, {}, {}}}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out branch
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Leaves) != 3 {
+		t.Errorf("empty repeated messages lost: %+v", out.Leaves)
+	}
+}
+
+func TestDeepRecursionRoundTrip(t *testing.T) {
+	// A 50-deep linked structure survives.
+	root := &branch{}
+	cur := root
+	for i := 0; i < 50; i++ {
+		cur.Self = &branch{Leaves: []leaf{{N: int64(i)}}}
+		cur = cur.Self
+	}
+	data, err := Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out branch
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	depth := 0
+	for p := out.Self; p != nil; p = p.Self {
+		if len(p.Leaves) != 1 || p.Leaves[0].N != int64(depth) {
+			t.Fatalf("depth %d corrupted: %+v", depth, p.Leaves)
+		}
+		depth++
+	}
+	if depth != 50 {
+		t.Errorf("depth = %d", depth)
+	}
+}
+
+func TestUnsupportedTypesRejected(t *testing.T) {
+	type bad1 struct {
+		C chan int `tag:"1"`
+	}
+	if _, err := Marshal(bad1{}); err == nil {
+		t.Error("chan accepted")
+	}
+	type bad2 struct {
+		P *int `tag:"1"`
+	}
+	if _, err := Marshal(bad2{}); err == nil {
+		t.Error("pointer-to-scalar accepted")
+	}
+}
+
+func TestDeterministicForSameStruct(t *testing.T) {
+	// Repeated slices are order-preserving (maps are not; skip them).
+	in := branch{Leaves: []leaf{{N: 1}, {N: 2}}}
+	a, _ := Marshal(in)
+	b, _ := Marshal(in)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("nondeterministic encoding for slice-only struct")
+	}
+}

@@ -1,0 +1,225 @@
+package tagged
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+type point struct {
+	X int64   `tag:"1"`
+	Y int64   `tag:"2"`
+	Z float64 `tag:"3"`
+}
+
+type message struct {
+	Name   string            `tag:"1"`
+	Age    uint32            `tag:"2"`
+	Alive  bool              `tag:"3"`
+	Pos    point             `tag:"4"`
+	Tags   []string          `tag:"5"`
+	Attrs  map[string]int64  `tag:"6"`
+	Scores []float32         `tag:"7"`
+	Ptr    *point            `tag:"8"`
+	Blob   []byte            `tag:"9"`
+	When   time.Time         `tag:"10"`
+	Lookup map[uint32]string `tag:"11"`
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := message{
+		Name:   "weaver",
+		Age:    12,
+		Alive:  true,
+		Pos:    point{X: -1, Y: 2, Z: 3.5},
+		Tags:   []string{"a", "", "c"},
+		Attrs:  map[string]int64{"k": -9},
+		Scores: []float32{1.5, 0, -2},
+		Ptr:    &point{X: 7},
+		Blob:   []byte{0, 1, 2},
+		When:   time.Unix(1234, 5678).UTC(),
+		Lookup: map[uint32]string{3: "three"},
+	}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out message
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestZeroValuesElided(t *testing.T) {
+	data, err := Marshal(message{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Errorf("zero message encoded to %d bytes, want 0", len(data))
+	}
+}
+
+func TestTaggedIsLargerThanUntagged(t *testing.T) {
+	// The evaluation's premise: tagged encodings pay per-field overhead.
+	// A struct with N set fields costs at least N extra tag bytes.
+	in := point{X: 1, Y: 2, Z: 3}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 tags + 1 byte X + 1 byte Y + 8 bytes Z = 14.
+	if len(data) < 3+1+1+8 {
+		t.Errorf("tagged encoding suspiciously small: %d bytes", len(data))
+	}
+}
+
+// v1 and v2 simulate two releases of the same message. v2 added a field and
+// still decodes v1 bytes; v1 decodes v2 bytes by skipping the unknown field.
+type msgV1 struct {
+	A string `tag:"1"`
+	B int64  `tag:"2"`
+}
+
+type msgV2 struct {
+	A string `tag:"1"`
+	B int64  `tag:"2"`
+	C []byte `tag:"3"`
+}
+
+func TestForwardAndBackwardCompatibility(t *testing.T) {
+	// Old writer, new reader.
+	old, err := Marshal(msgV1{A: "x", B: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2 msgV2
+	if err := Unmarshal(old, &v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2.A != "x" || v2.B != 9 || v2.C != nil {
+		t.Errorf("new reader decoded %+v", v2)
+	}
+
+	// New writer, old reader: unknown field 3 must be skipped.
+	newer, err := Marshal(msgV2{A: "y", B: 1, C: []byte{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v1 msgV1
+	if err := Unmarshal(newer, &v1); err != nil {
+		t.Fatal(err)
+	}
+	if v1.A != "y" || v1.B != 1 {
+		t.Errorf("old reader decoded %+v", v1)
+	}
+}
+
+func TestImplicitFieldNumbers(t *testing.T) {
+	type implicit struct {
+		First  string
+		Second int64
+	}
+	data, err := Marshal(implicit{First: "a", Second: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out implicit
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.First != "a" || out.Second != 2 {
+		t.Errorf("decoded %+v", out)
+	}
+}
+
+func TestDuplicateTagRejected(t *testing.T) {
+	type dup struct {
+		A int64 `tag:"1"`
+		B int64 `tag:"1"`
+	}
+	if _, err := Marshal(dup{}); err == nil {
+		t.Error("duplicate tag accepted")
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	var out message
+	for _, data := range [][]byte{
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		{0x0a, 0xff}, // field 1, bytes, impossible length
+		{0x0d, 0x01}, // field 1 as fixed32 but truncated
+	} {
+		if err := Unmarshal(data, &out); err == nil {
+			t.Errorf("garbage %v accepted", data)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	type qmsg struct {
+		S  string           `tag:"1"`
+		I  int64            `tag:"2"`
+		U  uint64           `tag:"3"`
+		F  float64          `tag:"4"`
+		B  bool             `tag:"5"`
+		BS []byte           `tag:"6"`
+		SS []string         `tag:"7"`
+		M  map[string]int64 `tag:"8"`
+	}
+	f := func(in qmsg) bool {
+		data, err := Marshal(in)
+		if err != nil {
+			return false
+		}
+		var out qmsg
+		if err := Unmarshal(data, &out); err != nil {
+			return false
+		}
+		if in.S != out.S || in.I != out.I || in.U != out.U || in.B != out.B {
+			return false
+		}
+		if !(in.F == out.F || (in.F != in.F && out.F != out.F)) {
+			return false
+		}
+		if !bytes.Equal(in.BS, out.BS) {
+			return false
+		}
+		if len(in.SS) != len(out.SS) {
+			return false
+		}
+		for i := range in.SS {
+			if in.SS[i] != out.SS[i] {
+				return false
+			}
+		}
+		if len(in.M) != len(out.M) {
+			return false
+		}
+		for k, v := range in.M {
+			if out.M[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGarbageNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		var out message
+		_ = Unmarshal(data, &out)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,31 @@
+package codegen
+
+// RemoteError is the concrete error type delivered to callers when a
+// component method invoked across a process boundary returned a non-nil
+// error. Only the error's message survives serialization; wrapped error
+// chains do not cross the wire, exactly as in the paper's prototype.
+type RemoteError struct {
+	Message string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string { return e.Message }
+
+// ErrorToWire converts a method's error return for embedding in a results
+// struct: ("", false) for nil, (msg, true) otherwise. Generated code calls
+// it when filling results structs.
+func ErrorToWire(err error) (string, bool) {
+	if err == nil {
+		return "", false
+	}
+	return err.Error(), true
+}
+
+// WireToError is the inverse of ErrorToWire, called by generated client
+// stubs when unpacking results structs.
+func WireToError(msg string, ok bool) error {
+	if !ok {
+		return nil
+	}
+	return &RemoteError{Message: msg}
+}

@@ -1,0 +1,380 @@
+// Package core implements the component runtime at the heart of the paper's
+// proposal (§3, §4): it instantiates components, injects their dependencies,
+// and transparently turns method invocations into local procedure calls when
+// caller and callee share a process, or remote procedure calls over the
+// custom data plane when they do not.
+//
+// The package is deployment-agnostic: a deployer (single-process,
+// multiprocess, or simulated cloud) configures a Runtime with two policy
+// functions — which components this process hosts, and how to reach the
+// ones it does not — and the runtime does the rest.
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/callgraph"
+	"repro/internal/codegen"
+	"repro/internal/logging"
+	"repro/internal/metrics"
+	"repro/internal/tracing"
+)
+
+// Options configures a Runtime.
+type Options struct {
+	// Hosted reports whether this process hosts (runs the implementation
+	// of) the named component. Nil means "host everything" (single-process
+	// deployment).
+	Hosted func(name string) bool
+
+	// RemoteConn returns a connection for invoking a component this
+	// process does not host. It is required if Hosted can return false.
+	RemoteConn func(reg *codegen.Registration) (codegen.Conn, error)
+
+	// Fill injects runtime state into a freshly allocated component
+	// implementation: the Implements embedding's logger, Ref fields, and
+	// Listener fields. resolve returns the client for a referenced
+	// component interface type. Fill is provided by the public weaver
+	// package, which owns those field types.
+	Fill func(impl any, name string, resolve func(t reflect.Type) (any, error)) error
+
+	// Logger receives runtime and component log output. Defaults to a
+	// stderr logger.
+	Logger *logging.Logger
+
+	// Graph, if non-nil, receives a call-graph edge for every component
+	// method call, local or remote.
+	Graph *callgraph.Collector
+
+	// Tracer, if non-nil, records spans for sampled traces.
+	Tracer *tracing.Recorder
+
+	// Metrics receives per-call counters and latency histograms. Defaults
+	// to metrics.Default.
+	Metrics *metrics.Registry
+
+	// FastLocal, if true, makes Get return local component implementations
+	// directly, with zero interposition — plain Go method calls, exactly
+	// as the paper describes co-located components. The cost is that local
+	// calls are invisible to metrics and the call graph.
+	FastLocal bool
+}
+
+// Runtime instantiates and resolves components.
+type Runtime struct {
+	opts Options
+
+	mu    sync.Mutex
+	comps map[string]*comp
+}
+
+// comp tracks one component's state within this process.
+type comp struct {
+	reg      *codegen.Registration
+	impl     any            // non-nil once a hosted component is initialized
+	clients  map[string]any // caller name -> interface value handed out
+	initing  bool           // cycle detection
+	initErr  error
+	initDone bool
+}
+
+// NewRuntime returns a runtime over all registered components.
+func NewRuntime(opts Options) *Runtime {
+	if opts.Logger == nil {
+		opts.Logger = logging.New(logging.Options{Component: "runtime"})
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.Default
+	}
+	r := &Runtime{opts: opts, comps: map[string]*comp{}}
+	for _, reg := range codegen.All() {
+		r.comps[reg.Name] = &comp{reg: reg, clients: map[string]any{}}
+	}
+	return r
+}
+
+// Components returns the names of all registered components, sorted.
+func (r *Runtime) Components() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.comps))
+	for name := range r.comps {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns a client for the component with the given interface type, on
+// behalf of an external caller (e.g. application main).
+func (r *Runtime) Get(ctx context.Context, iface reflect.Type) (any, error) {
+	reg, ok := codegen.FindByInterface(iface)
+	if !ok {
+		return nil, fmt.Errorf("core: no component registered for interface %v", iface)
+	}
+	return r.getClient(ctx, reg.Name, "")
+}
+
+// GetByName returns a client for the named component on behalf of caller
+// (empty for external callers).
+func (r *Runtime) GetByName(ctx context.Context, name, caller string) (any, error) {
+	return r.getClient(ctx, name, caller)
+}
+
+// LocalImpl returns the initialized implementation of a hosted component.
+// Deployers use it to wire hosted components into an RPC server.
+func (r *Runtime) LocalImpl(ctx context.Context, name string) (any, error) {
+	c := r.comp(name)
+	if c == nil {
+		return nil, fmt.Errorf("core: unknown component %q", name)
+	}
+	if !r.hosted(name) {
+		return nil, fmt.Errorf("core: component %q is not hosted in this process", name)
+	}
+	if err := r.initLocal(ctx, c); err != nil {
+		return nil, err
+	}
+	return c.impl, nil
+}
+
+// Shutdown invokes Shutdown(ctx) on every initialized hosted component that
+// implements it, in reverse initialization-independent (name) order.
+func (r *Runtime) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	var impls []any
+	var names []string
+	for name, c := range r.comps {
+		if c.initDone && c.impl != nil {
+			impls = append(impls, c.impl)
+			names = append(names, name)
+		}
+	}
+	r.mu.Unlock()
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	var first error
+	for _, impl := range impls {
+		if s, ok := impl.(interface{ Shutdown(context.Context) error }); ok {
+			if err := s.Shutdown(ctx); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// hosted reports whether this process hosts the named component. The
+// deployer's policy function is consulted on every resolution, because in
+// proclet mode the hosted set is learned from the manager after the
+// runtime is constructed.
+func (r *Runtime) hosted(name string) bool {
+	return r.opts.Hosted == nil || r.opts.Hosted(name)
+}
+
+func (r *Runtime) comp(name string) *comp {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.comps[name]
+}
+
+// getClient returns (building if necessary) the interface value handed to
+// caller for the named component.
+func (r *Runtime) getClient(ctx context.Context, name, caller string) (any, error) {
+	c := r.comp(name)
+	if c == nil {
+		return nil, fmt.Errorf("core: unknown component %q", name)
+	}
+
+	r.mu.Lock()
+	if cl, ok := c.clients[caller]; ok {
+		r.mu.Unlock()
+		return cl, nil
+	}
+	r.mu.Unlock()
+
+	var client any
+	if r.hosted(name) {
+		if err := r.initLocal(ctx, c); err != nil {
+			return nil, err
+		}
+		if r.opts.FastLocal {
+			client = c.impl
+		} else {
+			conn := &measuredConn{
+				runtime: r,
+				caller:  caller,
+				callee:  c.reg.Name,
+				inner:   localConn{impl: c.impl},
+				remote:  false,
+			}
+			client = c.reg.ClientStub(conn)
+		}
+	} else {
+		if r.opts.RemoteConn == nil {
+			return nil, fmt.Errorf("core: component %q is remote but no RemoteConn is configured", name)
+		}
+		inner, err := r.opts.RemoteConn(c.reg)
+		if err != nil {
+			return nil, err
+		}
+		conn := &measuredConn{
+			runtime: r,
+			caller:  caller,
+			callee:  c.reg.Name,
+			inner:   inner,
+			remote:  true,
+		}
+		client = c.reg.ClientStub(conn)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cl, ok := c.clients[caller]; ok {
+		return cl, nil // lost a race; use the winner
+	}
+	c.clients[caller] = client
+	return client, nil
+}
+
+// initLocal allocates, fills, and initializes a hosted component exactly
+// once, detecting dependency cycles.
+func (r *Runtime) initLocal(ctx context.Context, c *comp) error {
+	r.mu.Lock()
+	if c.initDone {
+		err := c.initErr
+		r.mu.Unlock()
+		return err
+	}
+	if c.initing {
+		r.mu.Unlock()
+		return fmt.Errorf("core: dependency cycle involving component %q", c.reg.Name)
+	}
+	c.initing = true
+	r.mu.Unlock()
+
+	err := r.buildImpl(ctx, c)
+
+	r.mu.Lock()
+	c.initing = false
+	c.initDone = true
+	c.initErr = err
+	r.mu.Unlock()
+	return err
+}
+
+func (r *Runtime) buildImpl(ctx context.Context, c *comp) error {
+	impl := reflect.New(c.reg.Impl).Interface()
+	if r.opts.Fill != nil {
+		resolve := func(t reflect.Type) (any, error) {
+			dep, ok := codegen.FindByInterface(t)
+			if !ok {
+				return nil, fmt.Errorf("core: %s references unregistered interface %v", c.reg.Name, t)
+			}
+			return r.getClient(ctx, dep.Name, c.reg.Name)
+		}
+		if err := r.opts.Fill(impl, c.reg.Name, resolve); err != nil {
+			return fmt.Errorf("core: filling %s: %w", c.reg.Name, err)
+		}
+	}
+	if init, ok := impl.(interface{ Init(context.Context) error }); ok {
+		if err := init.Init(ctx); err != nil {
+			return fmt.Errorf("core: initializing %s: %w", c.reg.Name, err)
+		}
+	}
+	r.opts.Logger.Debug("component initialized", "component", ShortName(c.reg.Name))
+	c.impl = impl
+	return nil
+}
+
+// localConn invokes methods directly on an in-process implementation.
+type localConn struct {
+	impl any
+}
+
+// Invoke implements codegen.Conn.
+func (l localConn) Invoke(ctx context.Context, component string, m *codegen.MethodSpec, args, res any, shard uint64, hasShard bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	m.Do(ctx, l.impl, args, res)
+	return nil
+}
+
+// measuredConn wraps a Conn with metrics, call-graph, and trace recording.
+type measuredConn struct {
+	runtime *Runtime
+	caller  string
+	callee  string
+	inner   codegen.Conn
+	remote  bool
+}
+
+// Invoke implements codegen.Conn.
+func (mc *measuredConn) Invoke(ctx context.Context, component string, m *codegen.MethodSpec, args, res any, shard uint64, hasShard bool) error {
+	r := mc.runtime
+
+	// Establish the span for this call. A fresh trace is started at
+	// entry points (no inbound context).
+	var sc tracing.SpanContext
+	parent, hasParent := tracing.FromContext(ctx)
+	if hasParent {
+		sc = parent.Child()
+	} else if r.opts.Tracer != nil {
+		sc = tracing.NewTrace()
+	}
+	if sc.Valid() {
+		ctx = tracing.ContextWith(ctx, sc)
+	}
+
+	start := time.Now()
+	err := mc.inner.Invoke(ctx, component, m, args, res, shard, hasShard)
+	elapsed := time.Since(start)
+
+	if r.opts.Graph != nil {
+		r.opts.Graph.Record(mc.caller, mc.callee, m.Name, elapsed, 0, mc.remote, err != nil)
+	}
+	short := ShortName(mc.callee)
+	r.opts.Metrics.Counter("component.calls." + short + "." + m.Name).Inc()
+	if !mc.remote {
+		// Local calls are served by this process; count them toward its
+		// load so the autoscaler sees colocated traffic too.
+		r.opts.Metrics.Counter("component.served." + short).Inc()
+	}
+	if err != nil {
+		r.opts.Metrics.Counter("component.errors." + short + "." + m.Name).Inc()
+	}
+	r.opts.Metrics.Histogram("component.latency_us."+short, nil).Put(float64(elapsed.Microseconds()))
+
+	if r.opts.Tracer != nil && sc.Valid() {
+		span := tracing.Span{
+			Trace:      uint64(sc.Trace),
+			ID:         uint64(sc.Span),
+			Parent:     uint64(sc.Parent),
+			Component:  mc.callee,
+			Method:     m.Name,
+			Caller:     mc.caller,
+			StartNanos: start.UnixNano(),
+			EndNanos:   start.Add(elapsed).UnixNano(),
+			Remote:     mc.remote,
+		}
+		if err != nil {
+			span.Err = err.Error()
+		}
+		r.opts.Tracer.Record(span)
+	}
+	return err
+}
+
+// ShortName trims the package path from a full component name:
+// "repro/internal/boutique/CartService" -> "CartService".
+func ShortName(full string) string {
+	if i := strings.LastIndexByte(full, '/'); i >= 0 {
+		return full[i+1:]
+	}
+	return full
+}

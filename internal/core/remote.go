@@ -1,0 +1,187 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/codegen"
+	"repro/internal/routing"
+	"repro/internal/rpc"
+	"repro/internal/tracing"
+)
+
+// DataPlaneConn invokes component methods over the custom TCP data plane
+// (internal/rpc) using the unversioned codec. One DataPlaneConn serves one
+// component; the balancer chooses among the component's replicas per call,
+// and rpc.Clients are cached per replica address.
+//
+// Transport failures are retried (against a different replica when the
+// balancer offers one) up to a small fixed budget; application errors are
+// never retried here — they are decoded from the results payload by the
+// generated stub.
+type DataPlaneConn struct {
+	component string
+	balancer  routing.Balancer
+	opts      rpc.ClientOptions
+
+	mu      sync.Mutex
+	clients map[string]*rpc.Client
+}
+
+// transportRetries is the number of attempts made for transport-level
+// failures before giving up. Retrying at-most-once semantics for
+// application logic is preserved because only delivery failures retry.
+const transportRetries = 3
+
+// noReplicaGrace is how long a call waits for a component's replica set to
+// become non-empty before failing.
+const noReplicaGrace = 3 * time.Second
+
+// NewDataPlaneConn returns a data-plane connection for the named component,
+// picking replicas with balancer.
+func NewDataPlaneConn(component string, balancer routing.Balancer, opts rpc.ClientOptions) *DataPlaneConn {
+	return &DataPlaneConn{
+		component: component,
+		balancer:  balancer,
+		opts:      opts,
+		clients:   map[string]*rpc.Client{},
+	}
+}
+
+// Balancer returns the conn's balancer, so deployers can push replica-set
+// and assignment updates into it.
+func (c *DataPlaneConn) Balancer() routing.Balancer { return c.balancer }
+
+// Close closes all cached clients.
+func (c *DataPlaneConn) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	c.clients = map[string]*rpc.Client{}
+}
+
+func (c *DataPlaneConn) clientFor(addr string) *rpc.Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cl := c.clients[addr]
+	if cl == nil {
+		cl = rpc.NewClient(addr, c.opts)
+		c.clients[addr] = cl
+	}
+	return cl
+}
+
+// Invoke implements codegen.Conn.
+func (c *DataPlaneConn) Invoke(ctx context.Context, component string, m *codegen.MethodSpec, args, res any, shard uint64, hasShard bool) error {
+	var enc codec.Encoder
+	codec.EncodePtr(&enc, args)
+	payload := enc.Data()
+
+	var callOpts rpc.CallOptions
+	if hasShard {
+		callOpts.Shard = shard
+	}
+	if sc, ok := tracing.FromContext(ctx); ok {
+		callOpts.Trace = sc
+	}
+
+	method := rpc.MethodKey(c.component + "." + m.Name)
+	attempts := transportRetries
+	if m.NoRetry {
+		// Non-idempotent method (weaver:noretry): at-most-once delivery.
+		attempts = 1
+	}
+	var lastErr error
+	tried := map[string]bool{}
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		addr, err := c.balancer.Pick(shard, hasShard)
+		if errors.Is(err, routing.ErrNoReplicas) {
+			// Every replica is gone — typically mid-restart after a crash
+			// (paper §3.1: replicas "may fail and get restarted"). Wait
+			// briefly for the manager to publish fresh routing rather than
+			// failing the caller immediately.
+			waitUntil := time.Now().Add(noReplicaGrace)
+			for err != nil && time.Now().Before(waitUntil) {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(20 * time.Millisecond):
+				}
+				addr, err = c.balancer.Pick(shard, hasShard)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		// Prefer an untried replica on retries, but accept a repeat if the
+		// balancer has only one choice.
+		if attempt > 0 && tried[addr] {
+			for i := 0; i < 4 && tried[addr]; i++ {
+				if a2, err2 := c.balancer.Pick(shard, hasShard); err2 == nil {
+					addr = a2
+				} else {
+					break
+				}
+			}
+		}
+		tried[addr] = true
+
+		out, err := c.clientFor(addr).Call(ctx, method, payload, callOpts)
+		if err == nil {
+			return codec.Unmarshal(out, res)
+		}
+		var te *rpc.TransportError
+		if !errors.As(err, &te) {
+			return err // context cancellation or application-visible error
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("core: %s.%s failed after %d attempts: %w", ShortName(c.component), m.Name, attempts, lastErr)
+}
+
+// HostComponents exposes the implementations of the runtime's hosted
+// components on srv, using the unversioned codec for payloads. It
+// initializes each hosted component.
+func HostComponents(ctx context.Context, r *Runtime, srv *rpc.Server, components []string) error {
+	for _, name := range components {
+		reg, ok := codegen.Find(name)
+		if !ok {
+			return fmt.Errorf("core: hosting unknown component %q", name)
+		}
+		impl, err := r.LocalImpl(ctx, name)
+		if err != nil {
+			return err
+		}
+		served := r.opts.Metrics.Counter("component.served." + ShortName(name))
+		latency := r.opts.Metrics.Histogram("component.served_latency_us."+ShortName(name), nil)
+		for _, m := range reg.Methods {
+			m := m
+			srv.Register(reg.FullMethod(m.Name), func(ctx context.Context, argBytes []byte) ([]byte, error) {
+				served.Inc()
+				start := time.Now()
+				defer func() { latency.Put(float64(time.Since(start).Microseconds())) }()
+				args := m.NewArgs()
+				if err := codec.Unmarshal(argBytes, args); err != nil {
+					return nil, fmt.Errorf("bad arguments for %s.%s: %w", ShortName(reg.Name), m.Name, err)
+				}
+				res := m.NewRes()
+				m.Do(ctx, impl, args, res)
+				var enc codec.Encoder
+				codec.EncodePtr(&enc, res)
+				out := make([]byte, enc.Len())
+				copy(out, enc.Data())
+				return out, nil
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+// Package dashboard implements the deployer's web UI and debugging
+// endpoints (paper Figure 3: "Web UI", "Debugging Tools", "Profiling
+// Tools"). It serves the global manager's aggregated view of a running
+// deployment:
+//
+//	GET /status   groups, replicas, health, and load
+//	GET /graph    the component call graph in Graphviz dot
+//	GET /metrics  merged metrics across replicas, text exposition format
+//	GET /traces   slowest sampled traces with their critical paths
+//	GET /logs     recent aggregated log entries (?component= filters)
+package dashboard
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/callgraph"
+	"repro/internal/core"
+	"repro/internal/manager"
+	"repro/internal/metrics"
+	"repro/internal/tracing"
+)
+
+// Handler returns the dashboard HTTP handler for a manager.
+func Handler(m *manager.Manager) http.Handler {
+	d := &dash{mgr: m}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", d.status)
+	mux.HandleFunc("/graph", d.graph)
+	mux.HandleFunc("/metrics", d.metrics)
+	mux.HandleFunc("/traces", d.traces)
+	mux.HandleFunc("/logs", d.logs)
+	// Profiling tools (Figure 3): the deployer process's own profiles.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/heap", pprof.Index)
+	mux.HandleFunc("/", d.index)
+	return mux
+}
+
+// Serve starts the dashboard on addr (e.g. "127.0.0.1:0") and returns the
+// bound address.
+func Serve(m *manager.Manager, addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: Handler(m)}
+	go func() { _ = srv.Serve(lis) }()
+	return lis.Addr().String(), nil
+}
+
+type dash struct {
+	mgr *manager.Manager
+}
+
+func (d *dash) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprint(w, `weaver deployment dashboard
+  /status   groups, replicas, health, load
+  /graph    component call graph (dot)
+  /metrics  merged metrics
+  /traces   slowest traces and critical paths
+  /logs     aggregated logs (?component=Name)
+  /debug/pprof  deployer profiles
+`)
+}
+
+func (d *dash) status(w http.ResponseWriter, _ *http.Request) {
+	for _, g := range d.mgr.Status() {
+		shorts := make([]string, len(g.Components))
+		for i, c := range g.Components {
+			shorts[i] = core.ShortName(c)
+		}
+		fmt.Fprintf(w, "group %-16s components=[%s]\n", g.Name, strings.Join(shorts, ","))
+		for _, rep := range g.Replicas {
+			health := "healthy"
+			if !rep.Healthy {
+				health = "UNHEALTHY"
+			}
+			fmt.Fprintf(w, "  %-14s pid=%-7d addr=%-21s %-9s %.1f calls/s\n",
+				rep.ID, rep.Pid, rep.Addr, health, rep.Rate)
+		}
+	}
+}
+
+func (d *dash) graph(w http.ResponseWriter, _ *http.Request) {
+	fmt.Fprint(w, d.mgr.Graph().Analyze().Dot())
+}
+
+func (d *dash) metrics(w http.ResponseWriter, _ *http.Request) {
+	merged := d.mgr.MergedMetrics()
+	names := make([]string, 0, len(merged))
+	for name := range merged {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := merged[name]
+		key := strings.NewReplacer(".", "_", "-", "_", "/", "_").Replace(name)
+		switch s.Kind {
+		case metrics.KindCounter, metrics.KindGauge:
+			fmt.Fprintf(w, "%s %g\n", key, s.Value)
+		case metrics.KindHistogram:
+			fmt.Fprintf(w, "%s_count %d\n", key, s.Count)
+			fmt.Fprintf(w, "%s_sum %g\n", key, s.Sum)
+			fmt.Fprintf(w, "%s_p50 %g\n", key, s.Quantile(0.5))
+			fmt.Fprintf(w, "%s_p99 %g\n", key, s.Quantile(0.99))
+		}
+	}
+}
+
+func (d *dash) traces(w http.ResponseWriter, _ *http.Request) {
+	spans := d.mgr.Spans()
+	// Group by trace, find roots, sort by root duration.
+	byTrace := map[uint64][]tracing.Span{}
+	for _, s := range spans {
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	type traceInfo struct {
+		id   uint64
+		root tracing.Span
+		all  []tracing.Span
+	}
+	var infos []traceInfo
+	for id, group := range byTrace {
+		root := group[0]
+		for _, s := range group {
+			if s.Duration() > root.Duration() {
+				root = s
+			}
+		}
+		infos = append(infos, traceInfo{id: id, root: root, all: group})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].root.Duration() > infos[j].root.Duration() })
+	if len(infos) > 20 {
+		infos = infos[:20]
+	}
+
+	fmt.Fprintf(w, "%d traces collected; slowest %d:\n\n", len(byTrace), len(infos))
+	for _, ti := range infos {
+		fmt.Fprintf(w, "trace %016x  %s.%s  %v\n",
+			ti.id, core.ShortName(ti.root.Component), ti.root.Method, ti.root.Duration().Round(time.Microsecond))
+		for _, s := range callgraph.CriticalPath(ti.all) {
+			kind := "local"
+			if s.Remote {
+				kind = "remote"
+			}
+			fmt.Fprintf(w, "  -> %-24s %-18s %8v %s\n",
+				core.ShortName(s.Component), s.Method, s.Duration().Round(time.Microsecond), kind)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func (d *dash) logs(w http.ResponseWriter, r *http.Request) {
+	component := r.URL.Query().Get("component")
+	entries := d.mgr.LogAggregator().Ordered()
+	if component != "" {
+		kept := entries[:0]
+		for _, e := range entries {
+			if core.ShortName(e.Component) == component || e.Component == component {
+				kept = append(kept, e)
+			}
+		}
+		entries = kept
+	}
+	if len(entries) > 500 {
+		entries = entries[len(entries)-500:]
+	}
+	for _, e := range entries {
+		fmt.Fprintln(w, e.Format())
+	}
+}

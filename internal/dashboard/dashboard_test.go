@@ -1,0 +1,109 @@
+package dashboard
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/logging"
+	"repro/internal/manager"
+	"repro/internal/testpkg"
+	"repro/weaver"
+)
+
+func fill(impl any, name string, logger *logging.Logger, resolve func(reflect.Type) (any, error)) error {
+	return weaver.FillComponent(impl, name, logger, resolve, nil)
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestDashboardEndpoints(t *testing.T) {
+	ctx := context.Background()
+	d, err := deploy.StartInProcess(ctx, deploy.Options{
+		Config:        manager.Config{App: "dash-test"},
+		Fill:          fill,
+		TraceFraction: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+
+	chain, err := deploy.Get[testpkg.Chain](ctx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := chain.Relay(ctx, "x", 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let telemetry reports flow to the manager.
+	time.Sleep(400 * time.Millisecond)
+
+	addr, err := Serve(d.Manager, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	index := get(t, base+"/")
+	if !strings.Contains(index, "/status") {
+		t.Errorf("index = %q", index)
+	}
+
+	status := get(t, base+"/status")
+	for _, want := range []string{"group", "main", "Chain", "Echo", "healthy"} {
+		if !strings.Contains(status, want) {
+			t.Errorf("status missing %q:\n%s", want, status)
+		}
+	}
+
+	graph := get(t, base+"/graph")
+	if !strings.Contains(graph, "digraph") || !strings.Contains(graph, `"Chain" -> "Echo"`) {
+		t.Errorf("graph:\n%s", graph)
+	}
+
+	metricsOut := get(t, base+"/metrics")
+	if !strings.Contains(metricsOut, "component_served_Echo") {
+		t.Errorf("metrics missing served counter:\n%s", firstLines(metricsOut, 20))
+	}
+
+	traces := get(t, base+"/traces")
+	if !strings.Contains(traces, "traces collected") {
+		t.Errorf("traces:\n%s", firstLines(traces, 10))
+	}
+	if !strings.Contains(traces, "Chain") {
+		t.Errorf("no Chain trace:\n%s", firstLines(traces, 20))
+	}
+
+	_ = get(t, base+"/logs") // must not error
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,184 @@
+// Package deploy provides deployer implementations that tie together the
+// manager, envelopes, and proclets (paper Figure 3).
+//
+// InProcess runs a complete multiprocess-shaped deployment inside a single
+// OS process: every "replica" is a goroutine-hosted proclet speaking the
+// real control-plane pipe protocol to a real envelope, and component calls
+// between groups cross real TCP sockets through the data plane. It exists
+// for integration tests, chaos tests, and benchmarks, where spawning many
+// OS processes would be slow and hard to instrument; the subprocess
+// deployer in cmd/weaver shares every line of manager/envelope/proclet
+// code with it.
+package deploy
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/envelope"
+	"repro/internal/logging"
+	"repro/internal/manager"
+	"repro/internal/pipe"
+	"repro/internal/proclet"
+)
+
+// FillFunc injects weaver state into component implementations; it is
+// weaver.FillComponent adapted by the caller (the public weaver package
+// owns the field types, so the closure must come from above).
+type FillFunc func(impl any, name string, logger *logging.Logger, resolve func(reflect.Type) (any, error)) error
+
+// Inventory builds the component inventory from the in-process registry.
+func Inventory() []manager.ComponentInfo {
+	var out []manager.ComponentInfo
+	for _, reg := range codegen.All() {
+		out = append(out, manager.ComponentInfo{Name: reg.Name, Routed: reg.Routed})
+	}
+	return out
+}
+
+// InProcess is a running in-process deployment.
+type InProcess struct {
+	Manager *manager.Manager
+	main    *proclet.Proclet
+
+	mu       sync.Mutex
+	proclets map[string]*proclet.Proclet
+}
+
+// Options configures an in-process deployment.
+type Options struct {
+	Config manager.Config
+	Fill   FillFunc
+	// ReportInterval overrides the proclets' load-report cadence
+	// (default 100ms, faster than production for snappy tests).
+	ReportInterval time.Duration
+	// TraceFraction is each proclet's trace sampling rate.
+	TraceFraction float64
+}
+
+// StartInProcess boots a deployment: a manager, a main driver proclet, and
+// on-demand goroutine proclets for every other group.
+func StartInProcess(ctx context.Context, opts Options) (*InProcess, error) {
+	if opts.Fill == nil {
+		return nil, fmt.Errorf("deploy: missing Fill")
+	}
+	if opts.ReportInterval <= 0 {
+		opts.ReportInterval = 100 * time.Millisecond
+	}
+	if len(opts.Config.Components) == 0 {
+		opts.Config.Components = Inventory()
+	}
+	if opts.Config.Version == "" {
+		opts.Config.Version = "v1"
+	}
+
+	d := &InProcess{proclets: map[string]*proclet.Proclet{}}
+
+	startProclet := func(ctx context.Context, group, id string, mgr envelope.Manager) (*envelope.Envelope, *proclet.Proclet, error) {
+		envConn, procConn, err := pipe.Pair()
+		if err != nil {
+			return nil, nil, err
+		}
+		e := envelope.Attach(id, group, envConn, mgr)
+		p, err := proclet.Start(ctx, proclet.Options{
+			Conn:           procConn,
+			ProcletID:      id,
+			Group:          group,
+			Version:        opts.Config.Version,
+			Fill:           opts.Fill,
+			ReportInterval: opts.ReportInterval,
+			TraceFraction:  opts.TraceFraction,
+			Logger:         logging.New(logging.Options{Component: "proclet", Replica: id, Min: logging.LevelWarn}),
+		})
+		if err != nil {
+			envConn.Close()
+			procConn.Close()
+			return nil, nil, err
+		}
+		d.mu.Lock()
+		d.proclets[id] = p
+		d.mu.Unlock()
+		return e, p, nil
+	}
+
+	starter := func(ctx context.Context, group, id string, mgr envelope.Manager) (*envelope.Envelope, error) {
+		e, _, err := startProclet(ctx, group, id, mgr)
+		return e, err
+	}
+
+	mgr, err := manager.New(opts.Config, starter)
+	if err != nil {
+		return nil, err
+	}
+	d.Manager = mgr
+
+	// Start the main driver proclet directly, as a subprocess deployer
+	// starts the main binary.
+	_, mainP, err := startProclet(ctx, "main", "main/0", mgr)
+	if err != nil {
+		mgr.Stop()
+		return nil, err
+	}
+	d.main = mainP
+	return d, nil
+}
+
+// Runtime returns the main driver's component runtime; Get drives the
+// application through it.
+func (d *InProcess) Runtime() *core.Runtime { return d.main.Runtime() }
+
+// Get returns a client for the component with interface type T, as seen
+// from the main driver.
+func Get[T any](ctx context.Context, d *InProcess) (T, error) {
+	var zero T
+	v, err := d.Runtime().Get(ctx, reflect.TypeOf((*T)(nil)).Elem())
+	if err != nil {
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// Proclet returns the proclet for a replica id, if it is running.
+func (d *InProcess) Proclet(id string) (*proclet.Proclet, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.proclets[id]
+	return p, ok
+}
+
+// KillReplica abruptly terminates a replica's proclet (no graceful
+// shutdown), simulating a crash for chaos tests. It returns false if the
+// replica does not exist.
+func (d *InProcess) KillReplica(id string) bool {
+	d.mu.Lock()
+	p, ok := d.proclets[id]
+	if ok {
+		delete(d.proclets, id)
+	}
+	d.mu.Unlock()
+	if !ok {
+		return false
+	}
+	p.Shutdown(fmt.Errorf("killed by test"))
+	return true
+}
+
+// Stop shuts the deployment down.
+func (d *InProcess) Stop() {
+	d.Manager.Stop()
+	d.mu.Lock()
+	procs := make([]*proclet.Proclet, 0, len(d.proclets))
+	for _, p := range d.proclets {
+		procs = append(procs, p)
+	}
+	d.proclets = map[string]*proclet.Proclet{}
+	d.mu.Unlock()
+	for _, p := range procs {
+		p.Shutdown(nil)
+	}
+}

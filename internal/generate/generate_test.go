@@ -1,0 +1,273 @@
+package generate
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func generateTestdata(t *testing.T) string {
+	t.Helper()
+	out, err := Generate(Options{
+		Dir:     "testdata/cachepkg",
+		PkgPath: "repro/internal/generate/testdata/cachepkg",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil {
+		t.Fatal("no components found")
+	}
+	return string(out)
+}
+
+func TestGeneratedCodeParses(t *testing.T) {
+	src := generateTestdata(t)
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "weaver_gen.go", src, 0); err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, src)
+	}
+}
+
+func TestGeneratedSymbols(t *testing.T) {
+	src := generateTestdata(t)
+	for _, want := range []string{
+		// Registrations for both components, in sorted order.
+		`"repro/internal/generate/testdata/cachepkg/Cache"`,
+		`"repro/internal/generate/testdata/cachepkg/Store"`,
+		// Compile-time implementation checks.
+		"var _ weaver.InstanceOf[Cache] = (*cacheImpl)(nil)",
+		"var _ weaver.InstanceOf[Store] = (*storeImpl)(nil)",
+		// Args/results structs.
+		"type cache_Get_Args struct",
+		"type cache_Stats_Res struct",
+		// Client stub implements the interface.
+		"var _ Cache = cache_ClientStub{}",
+		// Routed methods get shard computation; Stats does not.
+		"Routed:",
+		"Shard: func(args any) uint64",
+		// Variadic support.
+		"a0 ...string",
+		// Imported type from another package survives.
+		"time.Duration",
+		// Map parameters go through the codec fallback.
+		"type store_BulkPut_Args struct",
+		"codec.Encode(e, x.P0)",
+		// Generated marshal/unmarshal fast paths (§4.2).
+		"func (x cache_Get_Args) WeaverMarshal(e *codec.Encoder)",
+		"func (x *cache_Get_Args) WeaverUnmarshal(d *codec.Decoder)",
+		// Scalar fields use direct calls; compound fields fall back.
+		"e.String(x.P0)",
+		"codec.Encode(e, x.P1)", // time.Duration in Touch
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+	if strings.Count(src, "Shard: func") != 3 {
+		t.Errorf("want 3 Shard funcs (Get, Put, Touch), got %d", strings.Count(src, "Shard: func"))
+	}
+}
+
+func TestGeneratedImports(t *testing.T) {
+	src := generateTestdata(t)
+	for _, want := range []string{`"time"`, `"context"`, `"reflect"`, `"repro/internal/codegen"`, `"repro/internal/routing"`, `"repro/weaver"`} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated code missing import %s", want)
+		}
+	}
+}
+
+func TestCacheOrderDeterministic(t *testing.T) {
+	a := generateTestdata(t)
+	b := generateTestdata(t)
+	if a != b {
+		t.Error("generator output nondeterministic")
+	}
+}
+
+func TestNoComponents(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte("package x\n\nfunc F() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Generate(Options{Dir: dir, PkgPath: "example/x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		t.Errorf("got output for componentless package:\n%s", out)
+	}
+}
+
+func TestRejectsMissingContext(t *testing.T) {
+	dir := t.TempDir()
+	src := `package bad
+
+import "repro/weaver"
+
+type B interface {
+	M(x int) error
+}
+
+type bImpl struct {
+	weaver.Implements[B]
+}
+
+func (b *bImpl) M(x int) error { return nil }
+`
+	if err := os.WriteFile(filepath.Join(dir, "b.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Generate(Options{Dir: dir, PkgPath: "example/bad"})
+	if err == nil || !strings.Contains(err.Error(), "context.Context") {
+		t.Errorf("err = %v, want context.Context complaint", err)
+	}
+}
+
+func TestRejectsMissingError(t *testing.T) {
+	dir := t.TempDir()
+	src := `package bad
+
+import (
+	"context"
+
+	"repro/weaver"
+)
+
+type B interface {
+	M(ctx context.Context) string
+}
+
+type bImpl struct {
+	weaver.Implements[B]
+}
+
+func (b *bImpl) M(ctx context.Context) string { return "" }
+`
+	if err := os.WriteFile(filepath.Join(dir, "b.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Generate(Options{Dir: dir, PkgPath: "example/bad"})
+	if err == nil || !strings.Contains(err.Error(), "error") {
+		t.Errorf("err = %v, want error-result complaint", err)
+	}
+}
+
+func TestRejectsDuplicateImplementations(t *testing.T) {
+	dir := t.TempDir()
+	src := `package bad
+
+import (
+	"context"
+
+	"repro/weaver"
+)
+
+type B interface {
+	M(ctx context.Context) error
+}
+
+type b1 struct{ weaver.Implements[B] }
+func (b *b1) M(ctx context.Context) error { return nil }
+
+type b2 struct{ weaver.Implements[B] }
+func (b *b2) M(ctx context.Context) error { return nil }
+`
+	if err := os.WriteFile(filepath.Join(dir, "b.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Generate(Options{Dir: dir, PkgPath: "example/bad"})
+	if err == nil || !strings.Contains(err.Error(), "implemented by both") {
+		t.Errorf("err = %v, want duplicate-implementation complaint", err)
+	}
+}
+
+func TestRejectsRouterMethodMismatch(t *testing.T) {
+	dir := t.TempDir()
+	src := `package bad
+
+import (
+	"context"
+
+	"repro/weaver"
+)
+
+type B interface {
+	M(ctx context.Context) error
+}
+
+type r struct{}
+func (r) NotAMethod(x string) string { return x }
+
+type bImpl struct {
+	weaver.Implements[B]
+	weaver.WithRouter[r]
+}
+func (b *bImpl) M(ctx context.Context) error { return nil }
+`
+	if err := os.WriteFile(filepath.Join(dir, "b.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Generate(Options{Dir: dir, PkgPath: "example/bad"})
+	if err == nil || !strings.Contains(err.Error(), "NotAMethod") {
+		t.Errorf("err = %v, want router mismatch complaint", err)
+	}
+}
+
+func TestNoRetryDirective(t *testing.T) {
+	dir := t.TempDir()
+	src := `package pay
+
+import (
+	"context"
+
+	"repro/weaver"
+)
+
+type Pay interface {
+	// Charge is not idempotent.
+	//
+	//weaver:noretry
+	Charge(ctx context.Context, cents int64) (string, error)
+	Refund(ctx context.Context, txn string) error
+}
+
+type payImpl struct {
+	weaver.Implements[Pay]
+}
+
+func (p *payImpl) Charge(ctx context.Context, cents int64) (string, error) { return "", nil }
+func (p *payImpl) Refund(ctx context.Context, txn string) error            { return nil }
+`
+	if err := os.WriteFile(filepath.Join(dir, "pay.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Generate(Options{Dir: dir, PkgPath: "example/pay"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := string(out)
+	if !strings.Contains(code, "NoRetry: true,") {
+		t.Error("Charge did not get NoRetry")
+	}
+	if !strings.Contains(code, `NoRetry: []string{"Charge"}`) {
+		t.Error("registration NoRetry list missing")
+	}
+	if strings.Count(code, "NoRetry: true,") != 1 {
+		t.Error("Refund wrongly marked NoRetry")
+	}
+}
+
+func TestPackagePathFromGoMod(t *testing.T) {
+	got, err := packagePath("testdata/cachepkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "repro/internal/generate/testdata/cachepkg" {
+		t.Errorf("packagePath = %q", got)
+	}
+}

@@ -1,0 +1,56 @@
+// Package cachepkg is generator test input: a routed component with
+// assorted method signatures, plus an unrouted dependency.
+package cachepkg
+
+import (
+	"context"
+	"time"
+
+	"repro/weaver"
+)
+
+// Cache is a routed component.
+type Cache interface {
+	Get(ctx context.Context, key string) (string, error)
+	Put(ctx context.Context, key, value string) error
+	Stats(ctx context.Context) (hits, misses int64, err error)
+	MultiGet(ctx context.Context, keys ...string) ([]string, error)
+	Touch(ctx context.Context, key string, ttl time.Duration) (time.Time, error)
+}
+
+type cacheRouter struct{}
+
+func (cacheRouter) Get(key string) string                      { return key }
+func (cacheRouter) Put(key, value string) string               { return key }
+func (cacheRouter) Touch(key string, ttl time.Duration) string { return key }
+
+type cacheImpl struct {
+	weaver.Implements[Cache]
+	weaver.WithRouter[cacheRouter]
+	store weaver.Ref[Store]
+}
+
+func (c *cacheImpl) Get(ctx context.Context, key string) (string, error) { return "", nil }
+func (c *cacheImpl) Put(ctx context.Context, key, value string) error    { return nil }
+func (c *cacheImpl) Stats(ctx context.Context) (int64, int64, error)     { return 0, 0, nil }
+func (c *cacheImpl) MultiGet(ctx context.Context, keys ...string) ([]string, error) {
+	return nil, nil
+}
+func (c *cacheImpl) Touch(ctx context.Context, key string, ttl time.Duration) (time.Time, error) {
+	return time.Time{}, nil
+}
+
+// Store is an unrouted component.
+type Store interface {
+	Load(ctx context.Context, key string) ([]byte, error)
+	BulkPut(ctx context.Context, kv map[string][]byte) (int, error)
+}
+
+type storeImpl struct {
+	weaver.Implements[Store]
+}
+
+func (s *storeImpl) Load(ctx context.Context, key string) ([]byte, error) { return nil, nil }
+func (s *storeImpl) BulkPut(ctx context.Context, kv map[string][]byte) (int, error) {
+	return len(kv), nil
+}

@@ -1,0 +1,101 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// recordingServer mimics the boutique front door and records requests.
+func recordingServer(t *testing.T) (*httptest.Server, *requestLog) {
+	t.Helper()
+	log := &requestLog{}
+	mux := http.NewServeMux()
+	record := func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		log.add(r.Method + " " + r.URL.Path + " " + string(body))
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte("{}"))
+	}
+	mux.HandleFunc("/", record)
+	mux.HandleFunc("/cart", record)
+	mux.HandleFunc("/cart/checkout", record)
+	mux.HandleFunc("/product/", record)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, log
+}
+
+type requestLog struct {
+	mu   sync.Mutex
+	reqs []string
+}
+
+func (l *requestLog) add(s string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reqs = append(l.reqs, s)
+}
+
+func (l *requestLog) all() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.reqs...)
+}
+
+func TestHTTPTargetOps(t *testing.T) {
+	srv, log := recordingServer(t)
+	target := NewHTTPTarget(srv.URL)
+	ctx := context.Background()
+
+	for _, op := range []Op{OpIndex, OpSetCurrency, OpBrowse, OpViewCart, OpAddToCart, OpCheckout} {
+		if err := target.Do(ctx, op, "u1", "EUR", "OLJCESPC7Z"); err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+	}
+
+	reqs := log.all()
+	// Checkout issues two requests (add + checkout), so 7 total.
+	if len(reqs) != 7 {
+		t.Fatalf("requests = %d: %v", len(reqs), reqs)
+	}
+	wantPrefixes := []string{
+		"GET / ",
+		"GET / ",
+		"GET /product/OLJCESPC7Z ",
+		"GET /cart ",
+		"POST /cart ",
+		"POST /cart ",
+		"POST /cart/checkout ",
+	}
+	for i, want := range wantPrefixes {
+		if len(reqs[i]) < len(want) || reqs[i][:len(want)] != want {
+			t.Errorf("request %d = %q, want prefix %q", i, reqs[i], want)
+		}
+	}
+
+	// The checkout body must be a well-formed PlaceOrderRequest.
+	var order map[string]any
+	body := reqs[6][len("POST /cart/checkout "):]
+	if err := json.Unmarshal([]byte(body), &order); err != nil {
+		t.Fatalf("checkout body: %v", err)
+	}
+	if order["UserID"] != "u1" || order["UserCurrency"] != "EUR" {
+		t.Errorf("checkout order = %v", order)
+	}
+}
+
+func TestHTTPTargetErrorsOnNon200(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	target := NewHTTPTarget(srv.URL)
+	if err := target.Do(context.Background(), OpIndex, "u", "USD", "p"); err == nil {
+		t.Error("500 response not reported")
+	}
+}

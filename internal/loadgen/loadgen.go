@@ -1,0 +1,393 @@
+// Package loadgen is the workload generator used in the evaluation — this
+// repository's substitute for Locust (§6.1). It sends a steady, open-loop
+// rate of storefront operations at the boutique application, with the same
+// behavior mix as the original demo's locustfile, and records end-to-end
+// latency distributions.
+//
+// The generator can drive the application through its HTTP front door
+// (HTTPTarget, as Locust does) or through component method calls
+// (ComponentTarget), so benchmarks can isolate transport overheads.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/boutique"
+)
+
+// Op is one kind of user action.
+type Op int
+
+// The operation mix, with the original locustfile's weights.
+const (
+	OpIndex       Op = iota // weight 1
+	OpSetCurrency           // weight 2
+	OpBrowse                // weight 10
+	OpAddToCart             // weight 2
+	OpViewCart              // weight 3
+	OpCheckout              // weight 1
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpIndex:
+		return "index"
+	case OpSetCurrency:
+		return "setCurrency"
+	case OpBrowse:
+		return "browseProduct"
+	case OpAddToCart:
+		return "addToCart"
+	case OpViewCart:
+		return "viewCart"
+	case OpCheckout:
+		return "checkout"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+var opWeights = []struct {
+	op Op
+	w  int
+}{
+	{OpIndex, 1},
+	{OpSetCurrency, 2},
+	{OpBrowse, 10},
+	{OpAddToCart, 2},
+	{OpViewCart, 3},
+	{OpCheckout, 1},
+}
+
+var products = []string{
+	"OLJCESPC7Z", "66VCHSJNUP", "1YMWWN1N4O", "L9ECAV7KIM", "2ZYFJ3GM2N",
+	"0PUK6V6EV0", "LS4PSXUNUM", "9SIQT8TOJO", "6E92ZMYYFZ", "A1B2C3D4E5",
+	"F6G7H8I9J0", "K1L2M3N4O5",
+}
+
+var currencies = []string{"EUR", "USD", "JPY", "GBP", "TRY", "CAD"}
+
+var checkoutCard = boutique.CreditCard{
+	Number:          "4432-8015-6152-0454",
+	CVV:             672,
+	ExpirationYear:  2039,
+	ExpirationMonth: 1,
+}
+
+// A Target executes one operation against the application.
+type Target interface {
+	Do(ctx context.Context, op Op, user, currency, product string) error
+}
+
+// HTTPTarget drives the boutique's HTTP front door.
+type HTTPTarget struct {
+	Base   string // e.g. "http://127.0.0.1:8080"
+	Client *http.Client
+}
+
+// NewHTTPTarget returns a target for the given base URL.
+func NewHTTPTarget(base string) *HTTPTarget {
+	return &HTTPTarget{
+		Base: base,
+		Client: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        1024,
+				MaxIdleConnsPerHost: 1024,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+}
+
+// Do implements Target.
+func (t *HTTPTarget) Do(ctx context.Context, op Op, user, currency, product string) error {
+	switch op {
+	case OpIndex:
+		return t.get(ctx, "/?user="+user)
+	case OpSetCurrency:
+		return t.get(ctx, "/?user="+user+"&currency="+currency)
+	case OpBrowse:
+		return t.get(ctx, "/product/"+product+"?user="+user+"&currency="+currency)
+	case OpViewCart:
+		return t.get(ctx, "/cart?user="+user+"&currency="+currency)
+	case OpAddToCart:
+		body, _ := json.Marshal(map[string]any{"UserID": user, "ProductID": product, "Quantity": 1})
+		return t.post(ctx, "/cart", body)
+	case OpCheckout:
+		// Guarantee a non-empty cart, as the locustfile does by adding
+		// before checking out.
+		body, _ := json.Marshal(map[string]any{"UserID": user, "ProductID": product, "Quantity": 1})
+		if err := t.post(ctx, "/cart", body); err != nil {
+			return err
+		}
+		order, _ := json.Marshal(boutique.PlaceOrderRequest{
+			UserID: user, UserCurrency: currency,
+			Address:    boutique.Address{StreetAddress: "1600 Amphitheatre Pkwy", City: "Mountain View", State: "CA", Country: "USA", ZipCode: 94043},
+			Email:      user + "@example.com",
+			CreditCard: checkoutCard,
+		})
+		return t.post(ctx, "/cart/checkout", order)
+	default:
+		return fmt.Errorf("loadgen: unknown op %v", op)
+	}
+}
+
+func (t *HTTPTarget) get(ctx context.Context, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	return t.do(req)
+}
+
+func (t *HTTPTarget) post(ctx context.Context, path string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return t.do(req)
+}
+
+func (t *HTTPTarget) do(req *http.Request) error {
+	resp, err := t.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: %s %s: %s", req.Method, req.URL.Path, resp.Status)
+	}
+	return nil
+}
+
+// ComponentTarget drives the frontend component directly (no HTTP front
+// door), for in-process benchmarks.
+type ComponentTarget struct {
+	Frontend boutique.Frontend
+}
+
+// Do implements Target.
+func (t *ComponentTarget) Do(ctx context.Context, op Op, user, currency, product string) error {
+	fe := t.Frontend
+	switch op {
+	case OpIndex:
+		_, err := fe.Home(ctx, user, "USD")
+		return err
+	case OpSetCurrency:
+		_, err := fe.Home(ctx, user, currency)
+		return err
+	case OpBrowse:
+		_, err := fe.Product(ctx, user, product, currency)
+		return err
+	case OpViewCart:
+		_, err := fe.ViewCart(ctx, user, currency)
+		return err
+	case OpAddToCart:
+		return fe.AddToCart(ctx, user, product, 1)
+	case OpCheckout:
+		if err := fe.AddToCart(ctx, user, product, 1); err != nil {
+			return err
+		}
+		_, err := fe.Checkout(ctx, boutique.PlaceOrderRequest{
+			UserID: user, UserCurrency: currency,
+			Address:    boutique.Address{StreetAddress: "1600 Amphitheatre Pkwy", City: "Mountain View", State: "CA", Country: "USA", ZipCode: 94043},
+			Email:      user + "@example.com",
+			CreditCard: checkoutCard,
+		})
+		return err
+	default:
+		return fmt.Errorf("loadgen: unknown op %v", op)
+	}
+}
+
+// Options configures a load run.
+type Options struct {
+	// Rate is the steady request rate in requests/sec.
+	Rate float64
+	// Duration is how long to generate load.
+	Duration time.Duration
+	// Warmup is discarded from the report (default 10% of Duration).
+	Warmup time.Duration
+	// Users is the simulated user population (default 100).
+	Users int
+	// MaxInflight bounds concurrent requests (default 4096); beyond it,
+	// arrivals are counted as dropped rather than queued, keeping the
+	// generator open-loop.
+	MaxInflight int
+	// Seed makes the op sequence reproducible.
+	Seed uint64
+}
+
+// Report summarizes a load run.
+type Report struct {
+	Sent      uint64
+	OK        uint64
+	Errors    uint64
+	Dropped   uint64
+	Duration  time.Duration
+	Achieved  float64 // achieved request rate (completed/duration)
+	latencies []time.Duration
+	PerOp     map[string]uint64
+	LastErr   string
+}
+
+// Quantile returns the q-th latency quantile of completed requests.
+func (r *Report) Quantile(q float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(r.latencies)-1))
+	return r.latencies[i]
+}
+
+// Mean returns the mean latency of completed requests.
+func (r *Report) Mean() time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range r.latencies {
+		sum += l
+	}
+	return sum / time.Duration(len(r.latencies))
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("sent=%d ok=%d err=%d dropped=%d rate=%.0f/s p50=%v p90=%v p99=%v mean=%v",
+		r.Sent, r.OK, r.Errors, r.Dropped, r.Achieved,
+		r.Quantile(0.50), r.Quantile(0.90), r.Quantile(0.99), r.Mean())
+}
+
+// Run generates load against target until opts.Duration elapses or ctx is
+// canceled, then returns the report.
+func Run(ctx context.Context, target Target, opts Options) *Report {
+	if opts.Rate <= 0 {
+		opts.Rate = 100
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 5 * time.Second
+	}
+	if opts.Warmup == 0 {
+		opts.Warmup = opts.Duration / 10
+	}
+	if opts.Users <= 0 {
+		opts.Users = 100
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 4096
+	}
+
+	// Precompute the weighted op table.
+	var table []Op
+	for _, ow := range opWeights {
+		for i := 0; i < ow.w; i++ {
+			table = append(table, ow.op)
+		}
+	}
+
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x9e3779b97f4a7c15))
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		perOp     = map[string]uint64{}
+		lastErr   atomic.Value
+	)
+	var sent, ok, errs, dropped atomic.Uint64
+	sem := make(chan struct{}, opts.MaxInflight)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	warmupUntil := start.Add(opts.Warmup)
+	deadline := start.Add(opts.Duration)
+
+	dispatch := func() {
+		op := table[rng.IntN(len(table))]
+		user := fmt.Sprintf("user-%d", rng.IntN(opts.Users))
+		currency := currencies[rng.IntN(len(currencies))]
+		product := products[rng.IntN(len(products))]
+
+		select {
+		case sem <- struct{}{}:
+		default:
+			dropped.Add(1)
+			return
+		}
+		sent.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			err := target.Do(ctx, op, user, currency, product)
+			lat := time.Since(t0)
+			record := t0.After(warmupUntil)
+			if err != nil {
+				errs.Add(1)
+				lastErr.Store(err.Error())
+				return
+			}
+			ok.Add(1)
+			if record {
+				mu.Lock()
+				latencies = append(latencies, lat)
+				perOp[op.String()]++
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// Pace in 1ms quanta: at each tick, dispatch however many arrivals the
+	// target rate implies have accrued. This keeps the generator open-loop
+	// and accurate at rates far above the ticker frequency.
+	ticker := time.NewTicker(time.Millisecond)
+	defer ticker.Stop()
+	var dispatched float64
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case now := <-ticker.C:
+			if now.After(deadline) {
+				break loop
+			}
+			due := opts.Rate * now.Sub(start).Seconds()
+			for dispatched < due {
+				dispatch()
+				dispatched++
+			}
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep := &Report{
+		Sent:      sent.Load(),
+		OK:        ok.Load(),
+		Errors:    errs.Load(),
+		Dropped:   dropped.Load(),
+		Duration:  elapsed,
+		Achieved:  float64(ok.Load()) / elapsed.Seconds(),
+		latencies: latencies,
+		PerOp:     perOp,
+	}
+	if e, ok := lastErr.Load().(string); ok {
+		rep.LastErr = e
+	}
+	return rep
+}

@@ -1,0 +1,79 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingTarget records operations without doing work.
+type countingTarget struct {
+	calls atomic.Uint64
+	fail  atomic.Bool
+}
+
+func (c *countingTarget) Do(ctx context.Context, op Op, user, currency, product string) error {
+	c.calls.Add(1)
+	if c.fail.Load() {
+		return errors.New("injected")
+	}
+	return nil
+}
+
+func TestRunPacesApproximateRate(t *testing.T) {
+	target := &countingTarget{}
+	rep := Run(context.Background(), target, Options{
+		Rate:     500,
+		Duration: 2 * time.Second,
+		Seed:     1,
+	})
+	// Expect ~1000 requests; allow generous slack for CI jitter.
+	if rep.Sent < 700 || rep.Sent > 1300 {
+		t.Errorf("sent = %d, want ~1000", rep.Sent)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d (%s)", rep.Errors, rep.LastErr)
+	}
+	if rep.OK != rep.Sent {
+		t.Errorf("ok = %d, sent = %d", rep.OK, rep.Sent)
+	}
+	if rep.Quantile(0.5) <= 0 {
+		t.Errorf("p50 = %v", rep.Quantile(0.5))
+	}
+}
+
+func TestRunRecordsErrors(t *testing.T) {
+	target := &countingTarget{}
+	target.fail.Store(true)
+	rep := Run(context.Background(), target, Options{Rate: 200, Duration: 500 * time.Millisecond, Seed: 2})
+	if rep.Errors == 0 {
+		t.Error("no errors recorded")
+	}
+	if rep.LastErr != "injected" {
+		t.Errorf("lastErr = %q", rep.LastErr)
+	}
+}
+
+func TestRunSeedDeterminesOpMix(t *testing.T) {
+	a := Run(context.Background(), &countingTarget{}, Options{Rate: 300, Duration: time.Second, Seed: 7})
+	if len(a.PerOp) < 3 {
+		t.Errorf("op mix too narrow: %v", a.PerOp)
+	}
+	// browseProduct has 10x the weight of index; with ~300 samples the
+	// ordering must hold.
+	if a.PerOp["browseProduct"] <= a.PerOp["index"] {
+		t.Errorf("weights not respected: %v", a.PerOp)
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	Run(ctx, &countingTarget{}, Options{Rate: 100, Duration: time.Hour})
+	if time.Since(start) > 2*time.Second {
+		t.Error("Run ignored context cancellation")
+	}
+}

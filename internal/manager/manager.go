@@ -1,0 +1,717 @@
+// Package manager implements the global manager from the paper's deployer
+// architecture (Figure 3): the control plane that decides where components
+// run, how many replicas each group gets, and how requests are routed. It
+// receives proclet API calls (Table 1) relayed by envelopes, launches new
+// replicas through a deployer-provided Starter, feeds load reports to the
+// autoscaler, aggregates metrics/logs/traces, and pushes routing updates.
+//
+// The manager is strictly a control plane: proclets exchange data-plane
+// traffic directly with one another.
+package manager
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/callgraph"
+	"repro/internal/core"
+	"repro/internal/envelope"
+	"repro/internal/logging"
+	"repro/internal/metrics"
+	"repro/internal/pipe"
+	"repro/internal/routing"
+	"repro/internal/tracing"
+)
+
+// ComponentInfo describes one component of the application being deployed.
+// Deployers obtain the inventory from the application binary itself
+// (WEAVER_DESCRIBE) or from the in-process registry.
+type ComponentInfo struct {
+	Name   string
+	Routed bool
+}
+
+// Config parameterizes a deployment.
+type Config struct {
+	// App names the application; Version identifies this rollout.
+	App     string
+	Version string
+
+	// Components is the application's component inventory.
+	Components []ComponentInfo
+
+	// Groups maps a colocation group name to the full names of the
+	// components it hosts. Components in the same group share an OS
+	// process. Components not mentioned anywhere get a singleton group of
+	// their own (the paper's apples-to-apples "no co-location" default).
+	// The special group "main" is the driver process started by the
+	// deployer; it exists even if it hosts no components.
+	Groups map[string][]string
+
+	// DefaultAutoscale applies to groups without an explicit entry in
+	// Autoscale.
+	DefaultAutoscale autoscale.Config
+	Autoscale        map[string]autoscale.Config
+
+	// SlicesPerReplica controls affinity-assignment granularity.
+	SlicesPerReplica int
+
+	// ScaleInterval is the autoscaler evaluation period (default 500ms).
+	ScaleInterval time.Duration
+
+	// ReplicaStaleAfter marks a replica unhealthy when it has not reported
+	// load for this long (default 5s).
+	ReplicaStaleAfter time.Duration
+
+	// MaxRestarts bounds automatic restarts of crashed replicas per group
+	// (default 8).
+	MaxRestarts int
+
+	Logger *logging.Logger
+}
+
+// Starter launches one replica of a group and returns its envelope. The
+// manager passes itself as the envelope's Manager.
+type Starter func(ctx context.Context, group, replicaID string, mgr envelope.Manager) (*envelope.Envelope, error)
+
+type replica struct {
+	id    string
+	env   *envelope.Envelope
+	addr  string
+	ready bool
+
+	healthy    bool
+	rate       float64
+	lastReport time.Time
+
+	stopping bool
+}
+
+type group struct {
+	name       string
+	components []string
+	routed     map[string]bool
+	replicas   map[string]*replica
+	as         *autoscale.Autoscaler
+	version    uint64
+	nextID     int
+	restarts   int
+	starting   int // replicas being started right now
+}
+
+// Manager is the global manager.
+type Manager struct {
+	cfg     Config
+	starter Starter
+	ctx     context.Context
+	cancel  context.CancelFunc
+
+	mu        sync.Mutex
+	groups    map[string]*group
+	compGroup map[string]string
+	envelopes map[*envelope.Envelope]bool
+	stopped   bool
+
+	logs    *logging.Aggregator
+	graph   *callgraph.Collector
+	metrics map[string][]metrics.Snapshot // replica id -> latest snapshot
+
+	traceMu sync.Mutex
+	spans   []tracing.Span
+}
+
+// New builds a manager for the given deployment. Call Stop when done.
+func New(cfg Config, starter Starter) (*Manager, error) {
+	if len(cfg.Components) == 0 {
+		return nil, fmt.Errorf("manager: no components in inventory")
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = logging.New(logging.Options{Component: "manager"})
+	}
+	if cfg.ScaleInterval <= 0 {
+		cfg.ScaleInterval = 500 * time.Millisecond
+	}
+	if cfg.ReplicaStaleAfter <= 0 {
+		cfg.ReplicaStaleAfter = 5 * time.Second
+	}
+	if cfg.MaxRestarts <= 0 {
+		cfg.MaxRestarts = 8
+	}
+	if cfg.SlicesPerReplica <= 0 {
+		cfg.SlicesPerReplica = 4
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:       cfg,
+		starter:   starter,
+		ctx:       ctx,
+		cancel:    cancel,
+		groups:    map[string]*group{},
+		compGroup: map[string]string{},
+		envelopes: map[*envelope.Envelope]bool{},
+		logs:      logging.NewAggregator(200000),
+		graph:     callgraph.NewCollector(),
+		metrics:   map[string][]metrics.Snapshot{},
+	}
+
+	routedSet := map[string]bool{}
+	known := map[string]bool{}
+	for _, c := range cfg.Components {
+		known[c.Name] = true
+		if c.Routed {
+			routedSet[c.Name] = true
+		}
+	}
+
+	addGroup := func(name string, components []string) error {
+		if _, dup := m.groups[name]; dup {
+			return fmt.Errorf("manager: duplicate group %q", name)
+		}
+		g := &group{
+			name:       name,
+			components: append([]string(nil), components...),
+			routed:     map[string]bool{},
+			replicas:   map[string]*replica{},
+		}
+		asCfg := cfg.DefaultAutoscale
+		if c, ok := cfg.Autoscale[name]; ok {
+			asCfg = c
+		}
+		g.as = autoscale.New(asCfg)
+		for _, c := range components {
+			if !known[c] {
+				return fmt.Errorf("manager: group %q lists unknown component %q", name, c)
+			}
+			if prev, taken := m.compGroup[c]; taken {
+				return fmt.Errorf("manager: component %q in groups %q and %q", c, prev, name)
+			}
+			m.compGroup[c] = name
+			g.routed[c] = routedSet[c]
+		}
+		m.groups[name] = g
+		return nil
+	}
+
+	// Explicit groups first, in sorted order for determinism.
+	groupNames := make([]string, 0, len(cfg.Groups))
+	for name := range cfg.Groups {
+		groupNames = append(groupNames, name)
+	}
+	sort.Strings(groupNames)
+	for _, name := range groupNames {
+		if err := addGroup(name, cfg.Groups[name]); err != nil {
+			return nil, err
+		}
+	}
+	// The main group always exists.
+	if _, ok := m.groups["main"]; !ok {
+		if err := addGroup("main", nil); err != nil {
+			return nil, err
+		}
+	}
+	// Singleton groups for everything else.
+	for _, c := range cfg.Components {
+		if _, ok := m.compGroup[c.Name]; ok {
+			continue
+		}
+		name := core.ShortName(c.Name)
+		if _, clash := m.groups[name]; clash {
+			name = strings.ReplaceAll(c.Name, "/", ".")
+		}
+		if err := addGroup(name, []string{c.Name}); err != nil {
+			return nil, err
+		}
+	}
+
+	go m.scaleLoop()
+	return m, nil
+}
+
+// GroupOf returns the colocation group hosting a component.
+func (m *Manager) GroupOf(component string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.compGroup[component]
+	return g, ok
+}
+
+// LogAggregator returns the manager's log aggregator.
+func (m *Manager) LogAggregator() *logging.Aggregator { return m.logs }
+
+// Graph returns the aggregated application call graph.
+func (m *Manager) Graph() *callgraph.Collector { return m.graph }
+
+// Spans returns a copy of the collected trace spans.
+func (m *Manager) Spans() []tracing.Span {
+	m.traceMu.Lock()
+	defer m.traceMu.Unlock()
+	return append([]tracing.Span(nil), m.spans...)
+}
+
+// MergedMetrics aggregates the latest metric snapshot across all replicas.
+func (m *Manager) MergedMetrics() map[string]metrics.Snapshot {
+	m.mu.Lock()
+	batches := make([][]metrics.Snapshot, 0, len(m.metrics))
+	for _, b := range m.metrics {
+		batches = append(batches, b)
+	}
+	m.mu.Unlock()
+	return metrics.MergeAll(batches...)
+}
+
+// StartGroup ensures that the named group is running at least n replicas.
+// The deployer calls it for "main"; everything else starts on demand.
+func (m *Manager) StartGroup(ctx context.Context, name string, n int) error {
+	m.mu.Lock()
+	g, ok := m.groups[name]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("manager: unknown group %q", name)
+	}
+	need := n - len(g.replicas) - g.starting
+	g.starting += max(0, need)
+	m.mu.Unlock()
+	var firstErr error
+	for i := 0; i < need; i++ {
+		if err := m.startReplica(ctx, g); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// startReplica launches one replica of g. The caller must have incremented
+// g.starting; startReplica decrements it.
+func (m *Manager) startReplica(ctx context.Context, g *group) error {
+	m.mu.Lock()
+	id := fmt.Sprintf("%s/%d", g.name, g.nextID)
+	g.nextID++
+	stopped := m.stopped
+	m.mu.Unlock()
+	if stopped {
+		m.mu.Lock()
+		g.starting--
+		m.mu.Unlock()
+		return fmt.Errorf("manager: stopped")
+	}
+
+	env, err := m.starter(ctx, g.name, id, m)
+
+	m.mu.Lock()
+	g.starting--
+	if err != nil {
+		m.mu.Unlock()
+		m.cfg.Logger.Error("starting replica", err, "group", g.name, "replica", id)
+		return err
+	}
+	// The proclet may already have registered (RegisterReplica runs on the
+	// envelope's serve goroutine, often before the starter returns); do not
+	// clobber its record.
+	if rep := g.replicas[id]; rep != nil {
+		rep.env = env
+	} else {
+		g.replicas[id] = &replica{id: id, env: env, healthy: true, lastReport: time.Now()}
+	}
+	m.envelopes[env] = true
+	m.mu.Unlock()
+	m.cfg.Logger.Info("replica started", "group", g.name, "replica", id)
+	return nil
+}
+
+// --- envelope.Manager implementation (the Table 1 API) ---
+
+// RegisterReplica implements envelope.Manager.
+func (m *Manager) RegisterReplica(e *envelope.Envelope, r pipe.RegisterReplica) error {
+	m.mu.Lock()
+	g, ok := m.groups[e.Group]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("manager: replica of unknown group %q", e.Group)
+	}
+	rep := g.replicas[e.ID]
+	if rep == nil {
+		// A replica the manager did not start (e.g. the main driver, which
+		// the deployer launches directly): adopt it.
+		rep = &replica{id: e.ID, env: e, healthy: true}
+		g.replicas[e.ID] = rep
+		m.envelopes[e] = true
+	}
+	rep.addr = r.Addr
+	rep.ready = true
+	rep.lastReport = time.Now()
+	m.mu.Unlock()
+
+	m.cfg.Logger.Info("replica registered", "group", e.Group, "replica", e.ID, "addr", r.Addr)
+	m.broadcastGroupRouting(g)
+	return nil
+}
+
+// adoptEnvelopeLocked ensures e receives routing broadcasts. Proclets talk
+// to the manager (ComponentsToHost, StartComponent) before they register,
+// so the manager must track their envelopes from first contact.
+func (m *Manager) adoptEnvelopeLocked(e *envelope.Envelope) {
+	m.envelopes[e] = true
+}
+
+// ComponentsToHost implements envelope.Manager.
+func (m *Manager) ComponentsToHost(e *envelope.Envelope) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.adoptEnvelopeLocked(e)
+	g, ok := m.groups[e.Group]
+	if !ok {
+		return nil, fmt.Errorf("manager: unknown group %q", e.Group)
+	}
+	return append([]string(nil), g.components...), nil
+}
+
+// StartComponent implements envelope.Manager.
+func (m *Manager) StartComponent(e *envelope.Envelope, component string, routed bool) error {
+	m.mu.Lock()
+	m.adoptEnvelopeLocked(e)
+	gname, ok := m.compGroup[component]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("manager: unknown component %q", component)
+	}
+	g := m.groups[gname]
+	need := 0
+	if len(g.replicas)+g.starting == 0 {
+		need = g.as.Config().MinReplicas
+		g.starting += need
+	}
+	m.mu.Unlock()
+
+	for i := 0; i < need; i++ {
+		go func() {
+			if err := m.startReplica(m.ctx, g); err != nil {
+				m.cfg.Logger.Error("start component replica", err, "component", component)
+			}
+		}()
+	}
+
+	// Push current routing info (possibly empty) so the requester learns
+	// about already-running replicas immediately.
+	m.pushGroupRoutingTo(g, e)
+	return nil
+}
+
+// LoadReport implements envelope.Manager.
+func (m *Manager) LoadReport(e *envelope.Envelope, lr pipe.LoadReport) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[e.Group]
+	if !ok {
+		return
+	}
+	rep, ok := g.replicas[e.ID]
+	if !ok {
+		return
+	}
+	rep.rate = lr.CallsPerSec
+	rep.healthy = lr.Healthy
+	rep.lastReport = time.Now()
+	m.metrics[e.ID] = lr.Metrics
+}
+
+// Logs implements envelope.Manager.
+func (m *Manager) Logs(entries []logging.Entry) { m.logs.Add(entries) }
+
+// Traces implements envelope.Manager.
+func (m *Manager) Traces(spans []tracing.Span) {
+	m.traceMu.Lock()
+	defer m.traceMu.Unlock()
+	m.spans = append(m.spans, spans...)
+	if len(m.spans) > 200000 {
+		m.spans = m.spans[len(m.spans)-200000:]
+	}
+}
+
+// GraphEdges implements envelope.Manager.
+func (m *Manager) GraphEdges(edges []callgraph.Edge) { m.graph.Merge(edges) }
+
+// ReplicaExited implements envelope.Manager.
+func (m *Manager) ReplicaExited(e *envelope.Envelope, exitErr error) {
+	m.mu.Lock()
+	g, ok := m.groups[e.Group]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	rep := g.replicas[e.ID]
+	delete(g.replicas, e.ID)
+	delete(m.envelopes, e)
+	delete(m.metrics, e.ID)
+	deliberate := m.stopped || (rep != nil && rep.stopping) || exitErr == nil
+	restart := !deliberate && g.restarts < m.cfg.MaxRestarts && len(g.components) > 0
+	if restart {
+		g.restarts++
+		g.starting++
+	}
+	m.mu.Unlock()
+
+	if exitErr != nil {
+		m.cfg.Logger.Warn("replica exited", "group", e.Group, "replica", e.ID, "err", exitErr.Error())
+	}
+	m.broadcastGroupRouting(g)
+
+	if restart {
+		// Restart crashed replicas with a small backoff (paper §3.1:
+		// "component replicas may fail and get restarted").
+		go func() {
+			select {
+			case <-time.After(100 * time.Millisecond):
+			case <-m.ctx.Done():
+				m.mu.Lock()
+				g.starting--
+				m.mu.Unlock()
+				return
+			}
+			if err := m.startReplica(m.ctx, g); err != nil {
+				m.cfg.Logger.Error("restarting replica", err, "group", g.name)
+			}
+		}()
+	}
+}
+
+// --- routing ---
+
+// routingInfoLocked builds the RoutingInfo messages for g's components.
+func (m *Manager) routingInfoLocked(g *group) []pipe.RoutingInfo {
+	var addrs []string
+	for _, r := range g.replicas {
+		if r.ready && r.healthy && !r.stopping {
+			addrs = append(addrs, r.addr)
+		}
+	}
+	sort.Strings(addrs)
+	g.version++
+	out := make([]pipe.RoutingInfo, 0, len(g.components))
+	for _, c := range g.components {
+		ri := pipe.RoutingInfo{
+			Component: c,
+			Replicas:  addrs,
+			Version:   g.version,
+		}
+		if g.routed[c] && len(addrs) > 0 {
+			a := routing.EqualSlices(g.version, addrs, m.cfg.SlicesPerReplica)
+			ri.Assignment = &a
+		}
+		out = append(out, ri)
+	}
+	return out
+}
+
+// broadcastGroupRouting pushes fresh routing info for g's components to
+// every envelope.
+func (m *Manager) broadcastGroupRouting(g *group) {
+	m.mu.Lock()
+	infos := m.routingInfoLocked(g)
+	envs := make([]*envelope.Envelope, 0, len(m.envelopes))
+	for e := range m.envelopes {
+		envs = append(envs, e)
+	}
+	m.mu.Unlock()
+	for _, e := range envs {
+		for _, ri := range infos {
+			_ = e.SendRoutingInfo(ri)
+		}
+	}
+}
+
+// pushGroupRoutingTo sends g's routing info to a single envelope.
+func (m *Manager) pushGroupRoutingTo(g *group, e *envelope.Envelope) {
+	m.mu.Lock()
+	infos := m.routingInfoLocked(g)
+	m.mu.Unlock()
+	for _, ri := range infos {
+		_ = e.SendRoutingInfo(ri)
+	}
+}
+
+// --- scaling and health ---
+
+func (m *Manager) scaleLoop() {
+	ticker := time.NewTicker(m.cfg.ScaleInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			m.scaleOnce(time.Now())
+		case <-m.ctx.Done():
+			return
+		}
+	}
+}
+
+// scaleOnce evaluates autoscaling and health for every running group.
+func (m *Manager) scaleOnce(now time.Time) {
+	type action struct {
+		g     *group
+		start int
+		stop  []*replica
+		dirty bool
+	}
+	var actions []action
+
+	m.mu.Lock()
+	for _, g := range m.groups {
+		if g.name == "main" || len(g.replicas)+g.starting == 0 {
+			continue // main is the driver; empty groups start on demand
+		}
+		var a action
+		a.g = g
+
+		// Health: mark stale replicas unhealthy so routing skips them.
+		var totalRate float64
+		healthyCount := 0
+		for _, r := range g.replicas {
+			wasHealthy := r.healthy
+			if now.Sub(r.lastReport) > m.cfg.ReplicaStaleAfter {
+				r.healthy = false
+			}
+			if r.healthy != wasHealthy {
+				a.dirty = true
+			}
+			if r.healthy && r.ready && !r.stopping {
+				healthyCount++
+				totalRate += r.rate
+			}
+		}
+
+		current := len(g.replicas) + g.starting
+		desired := g.as.Desired(current, totalRate, now)
+		if desired > current {
+			a.start = desired - current
+			g.starting += a.start
+		} else if desired < current && len(g.replicas) > desired {
+			// Stop the newest replicas first.
+			ids := make([]string, 0, len(g.replicas))
+			for id := range g.replicas {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for i := len(ids) - 1; i >= 0 && len(ids)-len(a.stop) > desired; i-- {
+				r := g.replicas[ids[i]]
+				if !r.stopping {
+					r.stopping = true
+					a.stop = append(a.stop, r)
+					a.dirty = true
+				}
+			}
+		}
+		if a.start > 0 || len(a.stop) > 0 || a.dirty {
+			actions = append(actions, a)
+		}
+	}
+	m.mu.Unlock()
+
+	for _, a := range actions {
+		for i := 0; i < a.start; i++ {
+			go func(g *group) {
+				if err := m.startReplica(m.ctx, g); err != nil {
+					m.cfg.Logger.Error("scale up", err, "group", g.name)
+				}
+			}(a.g)
+		}
+		if a.dirty || len(a.stop) > 0 {
+			m.broadcastGroupRouting(a.g)
+		}
+		for _, r := range a.stop {
+			go r.env.Stop(5 * time.Second)
+		}
+		if a.start > 0 {
+			m.cfg.Logger.Info("scaling up", "group", a.g.name, "new", fmt.Sprint(a.start))
+		}
+		if len(a.stop) > 0 {
+			m.cfg.Logger.Info("scaling down", "group", a.g.name, "stopping", fmt.Sprint(len(a.stop)))
+		}
+	}
+}
+
+// GroupStatus describes one group for status reporting.
+type GroupStatus struct {
+	Name       string
+	Components []string
+	Replicas   []ReplicaStatus
+}
+
+// ReplicaStatus describes one replica.
+type ReplicaStatus struct {
+	ID      string
+	Addr    string
+	Healthy bool
+	Rate    float64
+	Pid     int
+}
+
+// Status returns a snapshot of all groups and replicas, sorted by name.
+func (m *Manager) Status() []GroupStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]GroupStatus, 0, len(m.groups))
+	for _, g := range m.groups {
+		gs := GroupStatus{Name: g.name, Components: append([]string(nil), g.components...)}
+		ids := make([]string, 0, len(g.replicas))
+		for id := range g.replicas {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			r := g.replicas[id]
+			gs.Replicas = append(gs.Replicas, ReplicaStatus{
+				ID:      r.id,
+				Addr:    r.addr,
+				Healthy: r.healthy,
+				Rate:    r.rate,
+				Pid:     r.env.Pid(),
+			})
+		}
+		out = append(out, gs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ReplicaCount returns the number of live replicas of a group.
+func (m *Manager) ReplicaCount(group string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[group]
+	if !ok {
+		return 0
+	}
+	return len(g.replicas)
+}
+
+// Stop shuts down every replica and the manager itself.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	envs := make([]*envelope.Envelope, 0, len(m.envelopes))
+	for e := range m.envelopes {
+		envs = append(envs, e)
+	}
+	m.mu.Unlock()
+
+	m.cancel()
+	var wg sync.WaitGroup
+	for _, e := range envs {
+		wg.Add(1)
+		go func(e *envelope.Envelope) {
+			defer wg.Done()
+			e.Stop(3 * time.Second)
+		}(e)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,124 @@
+package manager
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/envelope"
+	"repro/internal/logging"
+)
+
+func inventory() []ComponentInfo {
+	return []ComponentInfo{
+		{Name: "app/A"},
+		{Name: "app/B", Routed: true},
+		{Name: "app/C"},
+	}
+}
+
+func noStart(ctx context.Context, group, id string, mgr envelope.Manager) (*envelope.Envelope, error) {
+	panic("no replicas should start in this test")
+}
+
+func quietLogger() *logging.Logger {
+	return logging.New(logging.Options{Component: "test", Sink: logging.Discard})
+}
+
+func TestGroupAssignment(t *testing.T) {
+	m, err := New(Config{
+		App:        "t",
+		Components: inventory(),
+		Groups:     map[string][]string{"pair": {"app/A", "app/B"}},
+		Logger:     quietLogger(),
+	}, noStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+
+	if g, _ := m.GroupOf("app/A"); g != "pair" {
+		t.Errorf("A in %q", g)
+	}
+	if g, _ := m.GroupOf("app/B"); g != "pair" {
+		t.Errorf("B in %q", g)
+	}
+	// C gets a singleton group named by its short name.
+	if g, _ := m.GroupOf("app/C"); g != "C" {
+		t.Errorf("C in %q", g)
+	}
+	// The main group always exists.
+	found := false
+	for _, gs := range m.Status() {
+		if gs.Name == "main" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no main group")
+	}
+}
+
+func TestRejectsUnknownComponentInGroup(t *testing.T) {
+	_, err := New(Config{
+		App:        "t",
+		Components: inventory(),
+		Groups:     map[string][]string{"g": {"app/Nope"}},
+		Logger:     quietLogger(),
+	}, noStart)
+	if err == nil || !strings.Contains(err.Error(), "unknown component") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRejectsComponentInTwoGroups(t *testing.T) {
+	_, err := New(Config{
+		App:        "t",
+		Components: inventory(),
+		Groups: map[string][]string{
+			"g1": {"app/A"},
+			"g2": {"app/A"},
+		},
+		Logger: quietLogger(),
+	}, noStart)
+	if err == nil || !strings.Contains(err.Error(), "groups") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRejectsEmptyInventory(t *testing.T) {
+	if _, err := New(Config{App: "t", Logger: quietLogger()}, noStart); err == nil {
+		t.Error("empty inventory accepted")
+	}
+}
+
+func TestStopIsIdempotent(t *testing.T) {
+	m, err := New(Config{App: "t", Components: inventory(), Logger: quietLogger()}, noStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Stop()
+	m.Stop()
+}
+
+func TestUnknownGroupStart(t *testing.T) {
+	m, err := New(Config{App: "t", Components: inventory(), Logger: quietLogger()}, noStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	if err := m.StartGroup(context.Background(), "nope", 1); err == nil {
+		t.Error("starting unknown group succeeded")
+	}
+}
+
+func TestReplicaCountUnknownGroup(t *testing.T) {
+	m, err := New(Config{App: "t", Components: inventory(), Logger: quietLogger()}, noStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	if n := m.ReplicaCount("nope"); n != 0 {
+		t.Errorf("count = %d", n)
+	}
+}

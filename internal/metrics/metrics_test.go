@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("value = %d", c.Value())
+	}
+	if r.Counter("x") != c {
+		t.Error("Counter not idempotent")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(-1)
+	if v := g.Value(); math.Abs(v-1.5) > 1e-9 {
+		t.Errorf("value = %v", v)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", nil)
+	for i := 1; i <= 1000; i++ {
+		h.Put(float64(i))
+	}
+	snap := findSnap(t, r, "lat")
+	p50 := snap.Quantile(0.5)
+	// Bucketed quantiles are approximate; the median of 1..1000 is ~500 and
+	// must land within its power-of-two bucket (512, 1024].
+	if p50 < 256 || p50 > 1024 {
+		t.Errorf("p50 = %v", p50)
+	}
+	if mean := snap.Mean(); math.Abs(mean-500.5) > 1 {
+		t.Errorf("mean = %v", mean)
+	}
+	if snap.Count != 1000 {
+		t.Errorf("count = %d", snap.Count)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("c", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Put(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter("reqs").Add(10)
+	r2.Counter("reqs").Add(5)
+	r1.Histogram("lat", nil).Put(100)
+	r2.Histogram("lat", nil).Put(200)
+
+	merged := MergeAll(r1.Snapshot(), r2.Snapshot())
+	if got := merged["reqs"].Value; got != 15 {
+		t.Errorf("merged counter = %v", got)
+	}
+	if got := merged["lat"].Count; got != 2 {
+		t.Errorf("merged histogram count = %v", got)
+	}
+}
+
+func TestMergeMismatchedNames(t *testing.T) {
+	a := Snapshot{Name: "a", Kind: KindCounter}
+	b := Snapshot{Name: "b", Kind: KindCounter}
+	if err := a.Merge(b); err == nil {
+		t.Error("merging different metrics succeeded")
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z")
+	r.Counter("a")
+	r.Gauge("m")
+	snaps := r.Snapshot()
+	if len(snaps) != 3 {
+		t.Fatalf("snapshots = %d", len(snaps))
+	}
+	if snaps[0].Name != "a" || snaps[1].Name != "z" || snaps[2].Name != "m" {
+		t.Errorf("order = %v, %v, %v", snaps[0].Name, snaps[1].Name, snaps[2].Name)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	s := Snapshot{Kind: KindHistogram}
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Error("quantile of empty histogram not NaN")
+	}
+}
+
+func TestQuickHistogramCountMatchesPuts(t *testing.T) {
+	f := func(vals []float64) bool {
+		r := NewRegistry()
+		h := r.Histogram("q", nil)
+		for _, v := range vals {
+			h.Put(math.Abs(v))
+		}
+		snap := findSnapQuiet(r, "q")
+		var bucketSum uint64
+		for _, b := range snap.Buckets {
+			bucketSum += b
+		}
+		return snap.Count == uint64(len(vals)) && bucketSum == snap.Count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func findSnap(t *testing.T, r *Registry, name string) Snapshot {
+	t.Helper()
+	for _, s := range r.Snapshot() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("no snapshot %q", name)
+	return Snapshot{}
+}
+
+func findSnapQuiet(r *Registry, name string) Snapshot {
+	for _, s := range r.Snapshot() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return Snapshot{}
+}

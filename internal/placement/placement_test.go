@@ -1,0 +1,143 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/callgraph"
+)
+
+// graphOf builds a call graph from (caller, callee, calls) triples.
+func graphOf(edges ...[3]any) *callgraph.Graph {
+	c := callgraph.NewCollector()
+	for _, e := range edges {
+		caller, callee := e[0].(string), e[1].(string)
+		for i := 0; i < e[2].(int); i++ {
+			c.Record(caller, callee, "M", time.Microsecond, 10, true, false)
+		}
+	}
+	return c.Analyze()
+}
+
+func TestPlanMergesChattiestPair(t *testing.T) {
+	g := graphOf(
+		[3]any{"A", "B", 100}, // chatty
+		[3]any{"A", "C", 1},
+		[3]any{"C", "D", 2},
+	)
+	plan := Plan(g, Config{MaxGroupSize: 2})
+	if err := Validate(plan, Config{MaxGroupSize: 2}); err != nil {
+		t.Fatal(err)
+	}
+	groupOf := invert(plan)
+	if groupOf["A"] != groupOf["B"] {
+		t.Errorf("A and B not colocated: %v", plan)
+	}
+}
+
+func TestPlanRespectsSizeCap(t *testing.T) {
+	g := graphOf(
+		[3]any{"A", "B", 100},
+		[3]any{"B", "C", 90},
+		[3]any{"C", "D", 80},
+		[3]any{"D", "E", 70},
+	)
+	plan := Plan(g, Config{MaxGroupSize: 2})
+	if err := Validate(plan, Config{MaxGroupSize: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for name, comps := range plan {
+		if len(comps) > 2 {
+			t.Errorf("group %s oversize: %v", name, comps)
+		}
+	}
+}
+
+func TestPlanImprovesScoreOverSingletons(t *testing.T) {
+	g := graphOf(
+		[3]any{"A", "B", 50},
+		[3]any{"B", "C", 40},
+		[3]any{"A", "D", 5},
+		[3]any{"D", "E", 3},
+	)
+	singletons := map[string][]string{}
+	for i, c := range g.Components() {
+		singletons[string(rune('a'+i))] = []string{c}
+	}
+	planned := Plan(g, Config{MaxGroupSize: 3})
+	if Score(g, planned) <= Score(g, singletons) {
+		t.Errorf("planned score %.2f not better than singleton %.2f",
+			Score(g, planned), Score(g, singletons))
+	}
+}
+
+func TestFullColocationScoresOne(t *testing.T) {
+	g := graphOf([3]any{"A", "B", 10}, [3]any{"B", "C", 10})
+	plan := map[string][]string{"all": {"A", "B", "C"}}
+	if s := Score(g, plan); s != 1.0 {
+		t.Errorf("score = %v", s)
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	g := graphOf(
+		[3]any{"A", "B", 10},
+		[3]any{"C", "D", 10},
+		[3]any{"B", "C", 10},
+	)
+	a := Plan(g, Config{MaxGroupSize: 2})
+	b := Plan(g, Config{MaxGroupSize: 2})
+	if len(a) != len(b) {
+		t.Fatalf("plans differ: %v vs %v", a, b)
+	}
+	for k, v := range a {
+		bv := b[k]
+		if len(v) != len(bv) {
+			t.Fatalf("group %s differs: %v vs %v", k, v, bv)
+		}
+		for i := range v {
+			if v[i] != bv[i] {
+				t.Fatalf("group %s differs: %v vs %v", k, v, bv)
+			}
+		}
+	}
+}
+
+func TestValidateCatchesDuplicates(t *testing.T) {
+	plan := map[string][]string{"g0": {"A"}, "g1": {"A"}}
+	if err := Validate(plan, Config{}); err == nil {
+		t.Error("duplicate component accepted")
+	}
+}
+
+func TestQuickPlanAlwaysValid(t *testing.T) {
+	f := func(pairs []uint16, cap8 uint8) bool {
+		c := callgraph.NewCollector()
+		names := []string{"A", "B", "C", "D", "E", "F", "G"}
+		for _, p := range pairs {
+			caller := names[int(p>>8)%len(names)]
+			callee := names[int(p&0xff)%len(names)]
+			if caller == callee {
+				continue
+			}
+			c.Record(caller, callee, "M", time.Microsecond, 1, true, false)
+		}
+		cfg := Config{MaxGroupSize: int(cap8%5) + 1}
+		plan := Plan(c.Analyze(), cfg)
+		return Validate(plan, cfg) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func invert(plan map[string][]string) map[string]string {
+	out := map[string]string{}
+	for g, comps := range plan {
+		for _, c := range comps {
+			out[c] = g
+		}
+	}
+	return out
+}

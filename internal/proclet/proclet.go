@@ -1,0 +1,454 @@
+// Package proclet implements the small, environment-agnostic daemon linked
+// into every application binary (paper §4.3). A proclet manages the
+// components hosted in its process: it registers itself with the runtime
+// over the control-plane pipe (RegisterReplica), learns which components to
+// host (ComponentsToHost), asks for components it needs to call
+// (StartComponent), serves hosted components on the data plane, and ships
+// load, metrics, logs, traces, and call-graph edges back to its envelope.
+package proclet
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/callgraph"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/logging"
+	"repro/internal/metrics"
+	"repro/internal/pipe"
+	"repro/internal/routing"
+	"repro/internal/rpc"
+	"repro/internal/tracing"
+)
+
+// Options configures a Proclet.
+type Options struct {
+	// Conn is the control-plane connection to the envelope.
+	Conn *pipe.Conn
+	// ProcletID uniquely identifies this replica (e.g. "cart/2").
+	ProcletID string
+	// Group is this replica's colocation group.
+	Group string
+	// Version is the application version, used for atomic rollouts.
+	Version string
+	// Fill injects weaver state into component implementations (see
+	// core.Options.Fill). The logger passed through is the proclet's.
+	Fill func(impl any, name string, logger *logging.Logger, resolve func(reflect.Type) (any, error)) error
+	// ListenAddr is the address the data-plane server binds
+	// (default "127.0.0.1:0").
+	ListenAddr string
+	// ReportInterval is how often load reports and telemetry batches are
+	// shipped (default 500ms).
+	ReportInterval time.Duration
+	// TraceFraction is the sampled fraction of traces (default 0.01).
+	TraceFraction float64
+	// Logger is the proclet's own logger; component logs are routed to the
+	// envelope regardless.
+	Logger *logging.Logger
+}
+
+// routeState tracks what this proclet knows about one remote component.
+type routeState struct {
+	conn    *core.DataPlaneConn
+	version uint64
+	ready   chan struct{} // closed when the first routing info arrives
+	once    sync.Once
+}
+
+// Proclet is the per-process daemon.
+type Proclet struct {
+	opts    Options
+	runtime *core.Runtime
+	srv     *rpc.Server
+	addr    string
+
+	metrics *metrics.Registry
+	logBuf  *logging.Buffer
+	tracer  *tracing.Recorder
+	graph   *callgraph.Collector
+
+	mu      sync.Mutex
+	hosted  map[string]bool
+	routes  map[string]*routeState
+	started map[string]bool // StartComponent already sent
+
+	acks   sync.Map // id -> chan *pipe.Message
+	nextID atomic.Uint64
+
+	lastCalls  float64
+	lastReport time.Time
+
+	shutdownOnce sync.Once
+	shutdownCh   chan struct{}
+	err          atomic.Value // error that terminated the proclet
+}
+
+// Start creates a proclet, registers it with the envelope, and begins
+// serving. It returns once registration completes; use Wait to block until
+// shutdown.
+func Start(ctx context.Context, opts Options) (*Proclet, error) {
+	if opts.Conn == nil {
+		return nil, fmt.Errorf("proclet: no control-plane connection")
+	}
+	if opts.ReportInterval <= 0 {
+		opts.ReportInterval = 500 * time.Millisecond
+	}
+	if opts.ListenAddr == "" {
+		opts.ListenAddr = "127.0.0.1:0"
+	}
+	if opts.TraceFraction == 0 {
+		opts.TraceFraction = 0.01
+	}
+	if opts.Logger == nil {
+		opts.Logger = logging.New(logging.Options{Component: "proclet", Replica: opts.ProcletID, Min: logging.LevelInfo})
+	}
+
+	p := &Proclet{
+		opts:       opts,
+		metrics:    metrics.NewRegistry(),
+		logBuf:     logging.NewBuffer(100000),
+		tracer:     tracing.NewRecorder(100000, opts.TraceFraction),
+		graph:      callgraph.NewCollector(),
+		hosted:     map[string]bool{},
+		routes:     map[string]*routeState{},
+		started:    map[string]bool{},
+		shutdownCh: make(chan struct{}),
+	}
+
+	p.srv = rpc.NewServer()
+	addr, err := p.srv.Listen(opts.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("proclet: data plane listen: %w", err)
+	}
+	p.addr = addr
+
+	componentLogger := logging.New(logging.Options{
+		Component: "app",
+		Replica:   opts.ProcletID,
+		Sink:      p.logBuf,
+	})
+	p.runtime = core.NewRuntime(core.Options{
+		Hosted: p.isHosted,
+		RemoteConn: func(reg *codegen.Registration) (codegen.Conn, error) {
+			return p.remoteConn(reg)
+		},
+		Fill: func(impl any, name string, resolve func(reflect.Type) (any, error)) error {
+			if opts.Fill == nil {
+				return fmt.Errorf("proclet: no fill function configured")
+			}
+			return opts.Fill(impl, name, componentLogger.With(core.ShortName(name)), resolve)
+		},
+		Logger:  opts.Logger,
+		Graph:   p.graph,
+		Tracer:  p.tracer,
+		Metrics: p.metrics,
+	})
+
+	go p.recvLoop(ctx)
+
+	// Fetch and host the initial component assignment BEFORE registering:
+	// registration publishes our data-plane address to other proclets, so
+	// every assigned component's handlers must be serving by then.
+	reply, err := p.call(ctx, &pipe.Message{Kind: pipe.KindComponentsToHost})
+	if err != nil {
+		p.srv.Close()
+		return nil, fmt.Errorf("proclet: fetching components to host: %w", err)
+	}
+	if reply.HostComponents != nil {
+		if err := p.hostComponents(ctx, reply.HostComponents.Components); err != nil {
+			p.srv.Close()
+			return nil, err
+		}
+	}
+
+	if err := p.send(&pipe.Message{
+		Kind: pipe.KindRegisterReplica,
+		RegisterReplica: &pipe.RegisterReplica{
+			ProcletID: opts.ProcletID,
+			Group:     opts.Group,
+			Pid:       int64(os.Getpid()),
+			Addr:      addr,
+			Version:   opts.Version,
+		},
+	}); err != nil {
+		p.srv.Close()
+		return nil, fmt.Errorf("proclet: registering replica: %w", err)
+	}
+
+	p.lastReport = time.Now()
+	go p.reportLoop(ctx)
+	return p, nil
+}
+
+// Addr returns the proclet's data-plane address.
+func (p *Proclet) Addr() string { return p.addr }
+
+// Runtime returns the component runtime backing this proclet.
+func (p *Proclet) Runtime() *core.Runtime { return p.runtime }
+
+// Metrics returns the proclet's metrics registry.
+func (p *Proclet) Metrics() *metrics.Registry { return p.metrics }
+
+// Wait blocks until the proclet shuts down and returns the terminating
+// error, if any.
+func (p *Proclet) Wait() error {
+	<-p.shutdownCh
+	if e, ok := p.err.Load().(error); ok {
+		return e
+	}
+	return nil
+}
+
+// Shutdown terminates the proclet: components are shut down and the data
+// plane closed.
+func (p *Proclet) Shutdown(err error) {
+	p.shutdownOnce.Do(func() {
+		if err != nil {
+			p.err.Store(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = p.runtime.Shutdown(ctx)
+		p.srv.Close()
+		p.mu.Lock()
+		for _, rs := range p.routes {
+			rs.conn.Close()
+		}
+		p.mu.Unlock()
+		// Closing the control-plane connection tells the envelope this
+		// replica is gone (the pipe-EOF liveness signal).
+		_ = p.opts.Conn.Close()
+		close(p.shutdownCh)
+	})
+}
+
+func (p *Proclet) isHosted(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hosted[name]
+}
+
+// send transmits a fire-and-forget message.
+func (p *Proclet) send(m *pipe.Message) error {
+	return p.opts.Conn.Send(m)
+}
+
+// call transmits a request and waits for its Ack.
+func (p *Proclet) call(ctx context.Context, m *pipe.Message) (*pipe.Message, error) {
+	id := p.nextID.Add(1)
+	m.ID = id
+	ch := make(chan *pipe.Message, 1)
+	p.acks.Store(id, ch)
+	defer p.acks.Delete(id)
+	if err := p.send(m); err != nil {
+		return nil, err
+	}
+	select {
+	case reply := <-ch:
+		if reply.Err != "" {
+			return nil, fmt.Errorf("proclet: envelope error: %s", reply.Err)
+		}
+		return reply, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-p.shutdownCh:
+		return nil, fmt.Errorf("proclet: shut down")
+	}
+}
+
+// recvLoop dispatches envelope messages until the pipe breaks.
+func (p *Proclet) recvLoop(ctx context.Context) {
+	for {
+		m, err := p.opts.Conn.Recv()
+		if err != nil {
+			// The envelope died or closed the pipe: shut down. This is the
+			// mechanism by which orphaned proclets exit.
+			p.Shutdown(fmt.Errorf("proclet: control plane closed: %w", err))
+			return
+		}
+		switch m.Kind {
+		case pipe.KindAck:
+			if ch, ok := p.acks.Load(m.ID); ok {
+				ch.(chan *pipe.Message) <- m
+			}
+		case pipe.KindHostComponents:
+			if m.HostComponents != nil {
+				if err := p.hostComponents(ctx, m.HostComponents.Components); err != nil {
+					p.opts.Logger.Error("hosting components", err)
+				}
+			}
+		case pipe.KindRoutingInfo:
+			if m.RoutingInfo != nil {
+				p.updateRouting(m.RoutingInfo)
+			}
+		case pipe.KindShutdown:
+			p.Shutdown(nil)
+			return
+		}
+	}
+}
+
+// hostComponents initializes and serves any newly assigned components.
+func (p *Proclet) hostComponents(ctx context.Context, components []string) error {
+	var fresh []string
+	p.mu.Lock()
+	for _, c := range components {
+		if !p.hosted[c] {
+			p.hosted[c] = true
+			fresh = append(fresh, c)
+		}
+	}
+	p.mu.Unlock()
+	if len(fresh) == 0 {
+		return nil
+	}
+	p.opts.Logger.Info("hosting components", "components", strings.Join(shortNames(fresh), ","))
+	return core.HostComponents(ctx, p.runtime, p.srv, fresh)
+}
+
+// remoteConn builds (once per component) the data-plane connection used to
+// call a component not hosted here, asking the manager to start it.
+func (p *Proclet) remoteConn(reg *codegen.Registration) (codegen.Conn, error) {
+	p.mu.Lock()
+	rs, ok := p.routes[reg.Name]
+	if !ok {
+		var bal routing.Balancer
+		if reg.Routed {
+			bal = routing.NewAffinity()
+		} else {
+			bal = routing.NewRoundRobin()
+		}
+		rs = &routeState{
+			conn:  core.NewDataPlaneConn(reg.Name, bal, rpc.ClientOptions{NumConns: 2}),
+			ready: make(chan struct{}),
+		}
+		p.routes[reg.Name] = rs
+	}
+	needStart := !p.started[reg.Name]
+	p.started[reg.Name] = true
+	p.mu.Unlock()
+
+	if needStart {
+		if err := p.send(&pipe.Message{
+			Kind:           pipe.KindStartComponent,
+			StartComponent: &pipe.StartComponent{Component: reg.Name, Routed: reg.Routed},
+		}); err != nil {
+			return nil, fmt.Errorf("proclet: StartComponent(%s): %w", reg.Name, err)
+		}
+	}
+
+	// Wait for the first routing info so that early calls do not fail with
+	// "no replicas" while the manager spins the component up.
+	select {
+	case <-rs.ready:
+	case <-time.After(30 * time.Second):
+		return nil, fmt.Errorf("proclet: timed out waiting for routing info for %s", reg.Name)
+	case <-p.shutdownCh:
+		return nil, fmt.Errorf("proclet: shut down")
+	}
+	return rs.conn, nil
+}
+
+// updateRouting applies a routing push from the envelope.
+func (p *Proclet) updateRouting(ri *pipe.RoutingInfo) {
+	p.mu.Lock()
+	rs, ok := p.routes[ri.Component]
+	if !ok {
+		// Routing info for a component we have not asked about yet: create
+		// the state so a later remoteConn finds it ready.
+		reg, found := codegen.Find(ri.Component)
+		var bal routing.Balancer
+		if found && reg.Routed {
+			bal = routing.NewAffinity()
+		} else {
+			bal = routing.NewRoundRobin()
+		}
+		rs = &routeState{
+			conn:  core.NewDataPlaneConn(ri.Component, bal, rpc.ClientOptions{NumConns: 2}),
+			ready: make(chan struct{}),
+		}
+		p.routes[ri.Component] = rs
+		p.started[ri.Component] = true
+	}
+	if ri.Version < rs.version {
+		p.mu.Unlock()
+		return // stale
+	}
+	rs.version = ri.Version
+	p.mu.Unlock()
+
+	rs.conn.Balancer().Update(ri.Replicas, ri.Assignment)
+	if len(ri.Replicas) > 0 {
+		rs.once.Do(func() { close(rs.ready) })
+	}
+}
+
+// reportLoop periodically ships load reports and telemetry.
+func (p *Proclet) reportLoop(ctx context.Context) {
+	ticker := time.NewTicker(p.opts.ReportInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			p.reportOnce()
+		case <-p.shutdownCh:
+			return
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func (p *Proclet) reportOnce() {
+	snap := p.metrics.Snapshot()
+
+	// Load = delta of calls served by this replica per second.
+	var totalCalls float64
+	for _, s := range snap {
+		if s.Kind == metrics.KindCounter && strings.HasPrefix(s.Name, "component.served.") {
+			totalCalls += s.Value
+		}
+	}
+	now := time.Now()
+	elapsed := now.Sub(p.lastReport).Seconds()
+	var rate float64
+	if elapsed > 0 {
+		rate = (totalCalls - p.lastCalls) / elapsed
+	}
+	p.lastCalls = totalCalls
+	p.lastReport = now
+
+	_ = p.send(&pipe.Message{
+		Kind: pipe.KindLoadReport,
+		LoadReport: &pipe.LoadReport{
+			Healthy:     true,
+			CallsPerSec: rate,
+			Metrics:     snap,
+		},
+	})
+
+	if entries := p.logBuf.Drain(); len(entries) > 0 {
+		_ = p.send(&pipe.Message{Kind: pipe.KindLogBatch, LogBatch: &pipe.LogBatch{Entries: entries}})
+	}
+	if spans := p.tracer.Drain(); len(spans) > 0 {
+		_ = p.send(&pipe.Message{Kind: pipe.KindTraceBatch, TraceBatch: &pipe.TraceBatch{Spans: spans}})
+	}
+	if edges := p.graph.Drain(); len(edges) > 0 {
+		_ = p.send(&pipe.Message{Kind: pipe.KindGraphBatch, GraphBatch: &pipe.GraphBatch{Edges: edges}})
+	}
+}
+
+func shortNames(full []string) []string {
+	out := make([]string, len(full))
+	for i, f := range full {
+		out[i] = core.ShortName(f)
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package proclet
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/callgraph"
+	"repro/internal/envelope"
+	"repro/internal/logging"
+	"repro/internal/pipe"
+	"repro/internal/tracing"
+)
+
+// scriptedManager serves the minimal control plane a proclet needs.
+type scriptedManager struct {
+	host    []string
+	lastReg chan pipe.RegisterReplica
+	loads   chan pipe.LoadReport
+}
+
+func newScriptedManager(host ...string) *scriptedManager {
+	return &scriptedManager{
+		host:    host,
+		lastReg: make(chan pipe.RegisterReplica, 8),
+		loads:   make(chan pipe.LoadReport, 1024),
+	}
+}
+
+func (m *scriptedManager) RegisterReplica(e *envelope.Envelope, r pipe.RegisterReplica) error {
+	m.lastReg <- r
+	return nil
+}
+func (m *scriptedManager) ComponentsToHost(*envelope.Envelope) ([]string, error) {
+	return m.host, nil
+}
+func (m *scriptedManager) StartComponent(*envelope.Envelope, string, bool) error { return nil }
+func (m *scriptedManager) LoadReport(e *envelope.Envelope, lr pipe.LoadReport) {
+	select {
+	case m.loads <- lr:
+	default:
+	}
+}
+func (m *scriptedManager) Logs([]logging.Entry)                    {}
+func (m *scriptedManager) Traces([]tracing.Span)                   {}
+func (m *scriptedManager) GraphEdges([]callgraph.Edge)             {}
+func (m *scriptedManager) ReplicaExited(*envelope.Envelope, error) {}
+
+func noFill(impl any, name string, logger *logging.Logger, resolve func(reflect.Type) (any, error)) error {
+	return nil
+}
+
+func TestStartRequiresConn(t *testing.T) {
+	_, err := Start(context.Background(), Options{})
+	if err == nil || !strings.Contains(err.Error(), "connection") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStartRegistersWithAddr(t *testing.T) {
+	envConn, procConn, err := pipe.Pair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := newScriptedManager()
+	envelope.Attach("p/0", "p", envConn, mgr)
+
+	p, err := Start(context.Background(), Options{
+		Conn:      procConn,
+		ProcletID: "p/0",
+		Group:     "p",
+		Fill:      noFill,
+		Logger:    logging.New(logging.Options{Sink: logging.Discard}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown(nil)
+
+	select {
+	case reg := <-mgr.lastReg:
+		if reg.ProcletID != "p/0" || reg.Group != "p" || reg.Addr != p.Addr() || reg.Addr == "" {
+			t.Errorf("registration = %+v (proclet addr %s)", reg, p.Addr())
+		}
+		if reg.Pid == 0 {
+			t.Error("no pid in registration")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("proclet never registered")
+	}
+}
+
+func TestPeriodicLoadReports(t *testing.T) {
+	envConn, procConn, err := pipe.Pair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := newScriptedManager()
+	envelope.Attach("p/0", "p", envConn, mgr)
+	p, err := Start(context.Background(), Options{
+		Conn: procConn, ProcletID: "p/0", Group: "p",
+		Fill:           noFill,
+		ReportInterval: 50 * time.Millisecond,
+		Logger:         logging.New(logging.Options{Sink: logging.Discard}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown(nil)
+
+	for i := 0; i < 2; i++ {
+		select {
+		case lr := <-mgr.loads:
+			if !lr.Healthy {
+				t.Error("proclet reported unhealthy")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("no load report")
+		}
+	}
+}
+
+func TestShutdownOnPipeClose(t *testing.T) {
+	envConn, procConn, err := pipe.Pair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := newScriptedManager()
+	e := envelope.Attach("p/0", "p", envConn, mgr)
+	p, err := Start(context.Background(), Options{
+		Conn: procConn, ProcletID: "p/0", Group: "p",
+		Fill:   noFill,
+		Logger: logging.New(logging.Options{Sink: logging.Discard}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The envelope disappears: the proclet must shut itself down (orphan
+	// cleanup).
+	envConn.Close()
+	done := make(chan error, 1)
+	go func() { done <- p.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("orphaned proclet exited without error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("orphaned proclet never shut down")
+	}
+	_ = e
+}
+
+func TestGracefulShutdownMessage(t *testing.T) {
+	envConn, procConn, err := pipe.Pair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := newScriptedManager()
+	e := envelope.Attach("p/0", "p", envConn, mgr)
+	p, err := Start(context.Background(), Options{
+		Conn: procConn, ProcletID: "p/0", Group: "p",
+		Fill:   noFill,
+		Logger: logging.New(logging.Options{Sink: logging.Discard}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	go e.Stop(3 * time.Second)
+	done := make(chan error, 1)
+	go func() { done <- p.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("proclet ignored shutdown")
+	}
+}

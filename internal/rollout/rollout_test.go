@@ -1,0 +1,134 @@
+package rollout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRollingUnversionedFails(t *testing.T) {
+	res := Run(RollingUnversioned, Config{Replicas: 10, RequestsPerStep: 500, Seed: 1})
+	if res.CrossVersion == 0 {
+		t.Fatal("rolling update produced no cross-version requests")
+	}
+	// Every cross-version request with the unversioned codec must fail:
+	// the schemas genuinely disagree.
+	if res.Failed != res.CrossVersion {
+		t.Errorf("failed = %d, crossVersion = %d; want equal", res.Failed, res.CrossVersion)
+	}
+	if res.FailureRate < 0.05 {
+		t.Errorf("failure rate = %.3f, implausibly low for a rolling update", res.FailureRate)
+	}
+	if res.PeakFleet != 10 {
+		t.Errorf("peak fleet = %d, want 10", res.PeakFleet)
+	}
+}
+
+func TestRollingTaggedSurvives(t *testing.T) {
+	res := Run(RollingTagged, Config{Replicas: 10, RequestsPerStep: 500, Seed: 2})
+	if res.CrossVersion == 0 {
+		t.Fatal("no cross-version requests")
+	}
+	if res.Failed != 0 {
+		t.Errorf("tagged codec failed %d requests across versions", res.Failed)
+	}
+}
+
+func TestAtomicUnversionedSurvives(t *testing.T) {
+	res := Run(AtomicUnversioned, Config{Replicas: 10, RequestsPerStep: 500, Seed: 3})
+	if res.CrossVersion != 0 {
+		t.Errorf("atomic rollout produced %d cross-version requests; atomicity broken", res.CrossVersion)
+	}
+	if res.Failed != 0 {
+		t.Errorf("atomic rollout failed %d requests", res.Failed)
+	}
+	if res.PeakFleet != 20 {
+		t.Errorf("peak fleet = %d, want 20 (blue/green runs both fleets)", res.PeakFleet)
+	}
+}
+
+func TestDirectorPinsRequests(t *testing.T) {
+	d := NewDirector("v1")
+	d.Begin("v2")
+	d.SetWeight(0.5)
+	// The same key must always land on the same version at a fixed weight.
+	for key := uint64(1); key < 1000; key += 13 {
+		first := d.Pick(key)
+		for i := 0; i < 10; i++ {
+			if got := d.Pick(key); got != first {
+				t.Fatalf("key %d flapped between versions", key)
+			}
+		}
+	}
+}
+
+func TestDirectorWeightMonotonic(t *testing.T) {
+	// As weight grows, a key assigned to v2 must never return to v1.
+	d := NewDirector("v1")
+	d.Begin("v2")
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = uint64(i)*2654435761 + 7
+	}
+	onNew := map[uint64]bool{}
+	for w := 0.0; w <= 1.0; w += 0.1 {
+		d.SetWeight(w)
+		for _, k := range keys {
+			v := d.Pick(k)
+			if onNew[k] && v != "v2" {
+				t.Fatalf("key %d regressed to v1 at weight %.1f", k, w)
+			}
+			if v == "v2" {
+				onNew[k] = true
+			}
+		}
+	}
+	d.SetWeight(1)
+	for _, k := range keys {
+		if d.Pick(k) != "v2" {
+			t.Fatalf("key %d not on v2 at weight 1", k)
+		}
+	}
+}
+
+func TestDirectorFinishAndAbort(t *testing.T) {
+	d := NewDirector("v1")
+	d.Begin("v2")
+	d.SetWeight(0.7)
+	d.Finish()
+	if v := d.Pick(12345); v != "v2" {
+		t.Errorf("after Finish, Pick = %s", v)
+	}
+
+	d2 := NewDirector("v1")
+	d2.Begin("v2")
+	d2.SetWeight(0.9)
+	d2.Abort()
+	if v := d2.Pick(12345); v != "v1" {
+		t.Errorf("after Abort, Pick = %s", v)
+	}
+}
+
+func TestQuickDirectorTotalWeightBounds(t *testing.T) {
+	// At weight 0 everything is old; at weight 1 everything is new.
+	f := func(key uint64) bool {
+		d := NewDirector("old")
+		d.Begin("new")
+		d.SetWeight(0)
+		if d.Pick(key) != "old" {
+			return false
+		}
+		d.SetWeight(1)
+		return d.Pick(key) == "new"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultsDeterministic(t *testing.T) {
+	a := Run(RollingUnversioned, Config{Replicas: 8, RequestsPerStep: 200, Seed: 9})
+	b := Run(RollingUnversioned, Config{Replicas: 8, RequestsPerStep: 200, Seed: 9})
+	if a != b {
+		t.Errorf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}

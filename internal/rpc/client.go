@@ -1,0 +1,420 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/tracing"
+)
+
+// CallOptions carries per-call metadata.
+type CallOptions struct {
+	// Shard is the routing affinity key hash; zero means unrouted.
+	Shard uint64
+	// Trace is the span context propagated to the callee.
+	Trace tracing.SpanContext
+}
+
+// A TransportError describes a failure of the RPC machinery itself (broken
+// connection, unknown method, handler panic), as opposed to an application
+// error returned by the component method.
+type TransportError struct {
+	Addr string
+	Err  error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("rpc: call to %s failed: %v", e.Addr, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// A Client issues calls to one server address over a small pool of
+// multiplexed TCP connections. Clients are safe for concurrent use and
+// transparently reconnect after connection failures.
+type Client struct {
+	addr     string
+	numConns int
+	dialer   func(ctx context.Context, addr string) (net.Conn, error)
+	opts     ClientOptions
+
+	nextID atomic.Uint64
+	rr     atomic.Uint64 // round-robin over conns
+
+	mu     sync.Mutex
+	conns  []*clientConn
+	closed bool
+
+	txBytes *metrics.Counter
+	rxBytes *metrics.Counter
+	calls   *metrics.Counter
+}
+
+// ClientOptions configures a Client.
+type ClientOptions struct {
+	// NumConns is the number of TCP connections to stripe calls over.
+	// Defaults to 1; boutique-scale fan-out benefits from 2-4.
+	NumConns int
+	// Dialer overrides the default TCP dialer (used by tests and the
+	// simulated network).
+	Dialer func(ctx context.Context, addr string) (net.Conn, error)
+	// Compress enables transparent flate compression of payloads larger
+	// than CompressThreshold (paper §5.1: the runtime is free to compress
+	// messages on the wire for network-bottlenecked applications). The
+	// server mirrors the choice for responses.
+	Compress bool
+	// CompressThreshold overrides DefaultCompressThreshold.
+	CompressThreshold int
+}
+
+// NewClient returns a client for the server at addr. Connections are
+// established lazily on first call.
+func NewClient(addr string, opts ClientOptions) *Client {
+	if opts.NumConns <= 0 {
+		opts.NumConns = 1
+	}
+	if opts.Dialer == nil {
+		var d net.Dialer
+		opts.Dialer = func(ctx context.Context, addr string) (net.Conn, error) {
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	if opts.CompressThreshold <= 0 {
+		opts.CompressThreshold = DefaultCompressThreshold
+	}
+	return &Client{
+		addr:     addr,
+		numConns: opts.NumConns,
+		dialer:   opts.Dialer,
+		opts:     opts,
+		conns:    make([]*clientConn, opts.NumConns),
+		txBytes:  metrics.Default.Counter("rpc.client.tx_bytes"),
+		rxBytes:  metrics.Default.Counter("rpc.client.rx_bytes"),
+		calls:    metrics.Default.Counter("rpc.client.calls"),
+	}
+}
+
+// Addr returns the server address this client targets.
+func (c *Client) Addr() string { return c.addr }
+
+// Call invokes the remote method identified by id with the encoded args and
+// returns the raw result payload. Errors of type *TransportError indicate
+// delivery failure; the result payload may itself encode an application
+// error, which generated stubs decode.
+func (c *Client) Call(ctx context.Context, id MethodID, args []byte, opts CallOptions) ([]byte, error) {
+	c.calls.Inc()
+	cc, err := c.conn(ctx)
+	if err != nil {
+		return nil, &TransportError{Addr: c.addr, Err: err}
+	}
+	res, err := cc.roundTrip(ctx, id, args, opts)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, &TransportError{Addr: c.addr, Err: err}
+	}
+	return res, nil
+}
+
+// Ping verifies liveness of the server with a ping/pong round trip.
+func (c *Client) Ping(ctx context.Context) error {
+	cc, err := c.conn(ctx)
+	if err != nil {
+		return &TransportError{Addr: c.addr, Err: err}
+	}
+	if err := cc.ping(ctx); err != nil {
+		return &TransportError{Addr: c.addr, Err: err}
+	}
+	return nil
+}
+
+// Close tears down all connections. In-flight calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for i, cc := range c.conns {
+		if cc != nil {
+			cc.close(ErrShutdown)
+			c.conns[i] = nil
+		}
+	}
+	return nil
+}
+
+// conn returns a healthy connection, dialing if necessary.
+func (c *Client) conn(ctx context.Context) (*clientConn, error) {
+	slot := int(c.rr.Add(1)) % c.numConns
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	cc := c.conns[slot]
+	if cc != nil && !cc.dead() {
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+
+	// Dial outside the lock; multiple goroutines may race, and the loser's
+	// connection is closed.
+	conn, err := c.dialer(ctx, c.addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	ncc := newClientConn(conn, c)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		ncc.close(ErrShutdown)
+		return nil, ErrShutdown
+	}
+	if cur := c.conns[slot]; cur != nil && !cur.dead() {
+		ncc.close(ErrShutdown)
+		return cur, nil
+	}
+	c.conns[slot] = ncc
+	return ncc, nil
+}
+
+// clientConn is one multiplexed connection with a reader goroutine.
+type clientConn struct {
+	conn    net.Conn
+	client  *Client
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan response
+	pings   map[uint64]chan struct{}
+	err     error // non-nil once broken
+}
+
+type response struct {
+	status byte
+	data   []byte
+}
+
+func newClientConn(conn net.Conn, c *Client) *clientConn {
+	cc := &clientConn{
+		conn:    conn,
+		client:  c,
+		pending: map[uint64]chan response{},
+		pings:   map[uint64]chan struct{}{},
+	}
+	go cc.readLoop()
+	return cc
+}
+
+func (cc *clientConn) dead() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.err != nil
+}
+
+// close marks the connection broken and fails all pending calls.
+func (cc *clientConn) close(err error) {
+	cc.mu.Lock()
+	if cc.err == nil {
+		cc.err = err
+	}
+	pending := cc.pending
+	pings := cc.pings
+	cc.pending = map[uint64]chan response{}
+	cc.pings = map[uint64]chan struct{}{}
+	cc.mu.Unlock()
+
+	cc.conn.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+	for _, ch := range pings {
+		close(ch)
+	}
+}
+
+func (cc *clientConn) readLoop() {
+	for {
+		frame, err := readFrame(cc.conn)
+		if err != nil {
+			cc.close(err)
+			return
+		}
+		cc.client.rxBytes.Add(uint64(len(frame)))
+		if len(frame) == 0 {
+			continue
+		}
+		typ, payload := frame[0], frame[1:]
+		switch typ {
+		case frameResponse:
+			if len(payload) < 9 {
+				continue
+			}
+			id := getUint64(payload)
+			status := payload[8]
+			data := payload[9:]
+			cc.mu.Lock()
+			ch, ok := cc.pending[id]
+			delete(cc.pending, id)
+			cc.mu.Unlock()
+			if ok {
+				ch <- response{status: status, data: data}
+			}
+		case framePong:
+			if len(payload) < 8 {
+				continue
+			}
+			nonce := getUint64(payload)
+			cc.mu.Lock()
+			ch, ok := cc.pings[nonce]
+			delete(cc.pings, nonce)
+			cc.mu.Unlock()
+			if ok {
+				close(ch)
+			}
+		}
+	}
+}
+
+func (cc *clientConn) write(chunks ...[]byte) error {
+	cc.writeMu.Lock()
+	defer cc.writeMu.Unlock()
+	var n int
+	for _, c := range chunks {
+		n += len(c)
+	}
+	cc.client.txBytes.Add(uint64(n))
+	if err := writeFrame(cc.conn, chunks...); err != nil {
+		cc.close(err)
+		return err
+	}
+	return nil
+}
+
+func (cc *clientConn) roundTrip(ctx context.Context, method MethodID, args []byte, opts CallOptions) ([]byte, error) {
+	id := cc.client.nextID.Add(1)
+
+	hdr := header{
+		id:     id,
+		method: method,
+		trace:  uint64(opts.Trace.Trace),
+		span:   uint64(opts.Trace.Span),
+		parent: uint64(opts.Trace.Parent),
+		shard:  opts.Shard,
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		hdr.deadline = dl.UnixNano()
+	}
+	if co := cc.client.opts; co.Compress {
+		// Advertise response compression; compress the request itself when
+		// it is big enough to be worth the CPU.
+		hdr.flags |= flagAcceptCompressed
+		if len(args) >= co.CompressThreshold {
+			if small, ok := compress(args); ok {
+				args = small
+				hdr.flags |= flagPayloadCompressed
+			}
+		}
+	}
+
+	ch := make(chan response, 1)
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
+		return nil, err
+	}
+	cc.pending[id] = ch
+	cc.mu.Unlock()
+
+	var buf [1 + headerSize]byte
+	buf[0] = frameRequest
+	hdr.encode(buf[1:])
+	if err := cc.write(buf[:], args); err != nil {
+		cc.mu.Lock()
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		return nil, err
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			cc.mu.Lock()
+			err := cc.err
+			cc.mu.Unlock()
+			if err == nil {
+				err = fmt.Errorf("connection closed")
+			}
+			return nil, err
+		}
+		if resp.status == statusError {
+			return nil, fmt.Errorf("%s", resp.data)
+		}
+		if resp.status == statusOKCompressed {
+			return decompress(resp.data)
+		}
+		return resp.data, nil
+	case <-ctx.Done():
+		// Tell the server to stop working on this request, then abandon it.
+		cc.mu.Lock()
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		var cbuf [9]byte
+		cbuf[0] = frameCancel
+		putUint64(cbuf[1:], id)
+		_ = cc.write(cbuf[:])
+		return nil, ctx.Err()
+	}
+}
+
+func (cc *clientConn) ping(ctx context.Context) error {
+	nonce := cc.client.nextID.Add(1)
+	ch := make(chan struct{})
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
+		return err
+	}
+	cc.pings[nonce] = ch
+	cc.mu.Unlock()
+
+	var buf [9]byte
+	buf[0] = framePing
+	putUint64(buf[1:], nonce)
+	if err := cc.write(buf[:]); err != nil {
+		return err
+	}
+
+	timer := time.NewTimer(5 * time.Second)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		cc.mu.Lock()
+		err := cc.err
+		cc.mu.Unlock()
+		return err
+	case <-ctx.Done():
+		cc.mu.Lock()
+		delete(cc.pings, nonce)
+		cc.mu.Unlock()
+		return ctx.Err()
+	case <-timer.C:
+		cc.mu.Lock()
+		delete(cc.pings, nonce)
+		cc.mu.Unlock()
+		return fmt.Errorf("ping timeout")
+	}
+}

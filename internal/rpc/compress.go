@@ -1,0 +1,57 @@
+package rpc
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// DefaultCompressThreshold is the payload size above which compression is
+// attempted when enabled. Small payloads are never compressed: the CPU cost
+// exceeds the byte savings.
+const DefaultCompressThreshold = 4 << 10
+
+var flateWriters = sync.Pool{
+	New: func() any {
+		w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+		return w
+	},
+}
+
+// compress flate-compresses p. It returns (nil, false) when compression
+// would not shrink the payload, in which case the caller sends it raw.
+func compress(p []byte) ([]byte, bool) {
+	var buf bytes.Buffer
+	buf.Grow(len(p) / 2)
+	w := flateWriters.Get().(*flate.Writer)
+	w.Reset(&buf)
+	if _, err := w.Write(p); err != nil {
+		flateWriters.Put(w)
+		return nil, false
+	}
+	if err := w.Close(); err != nil {
+		flateWriters.Put(w)
+		return nil, false
+	}
+	flateWriters.Put(w)
+	if buf.Len() >= len(p) {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// decompress inflates p.
+func decompress(p []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(p))
+	defer r.Close()
+	out, err := io.ReadAll(io.LimitReader(r, maxFrameSize+1))
+	if err != nil {
+		return nil, fmt.Errorf("rpc: decompressing payload: %w", err)
+	}
+	if len(out) > maxFrameSize {
+		return nil, fmt.Errorf("rpc: decompressed payload exceeds frame limit")
+	}
+	return out, nil
+}

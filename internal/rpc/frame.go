@@ -1,0 +1,166 @@
+// Package rpc implements the weaver data plane: a custom remote procedure
+// call protocol built directly on top of TCP (paper §6.1).
+//
+// Because application rollouts are atomic, the two ends of every connection
+// are the exact same binary. The protocol exploits this: methods are
+// identified by a 4-byte hash of their full name computed independently on
+// both sides (no negotiation, no schema exchange, no string method names on
+// the wire), and argument payloads use the unversioned internal/codec
+// format. A request header costs a fixed few dozen bytes versus the
+// hundreds of bytes of headers a general-purpose HTTP-based RPC spends.
+//
+// Framing: every frame is a 4-byte little-endian payload length followed by
+// the payload. The first payload byte is the frame type.
+//
+//	request:  id, method hash, deadline, trace context, shard, args
+//	response: id, status, payload (result bytes or error text)
+//	cancel:   id
+//	ping:     nonce     (liveness probes, answered with pong)
+//	pong:     nonce
+//
+// Connections are multiplexed: many in-flight calls share one TCP
+// connection, correlated by id. Cancellation propagates with an explicit
+// cancel frame so servers stop wasted work promptly.
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+)
+
+// Frame types.
+const (
+	frameRequest  = 1
+	frameResponse = 2
+	frameCancel   = 3
+	framePing     = 4
+	framePong     = 5
+)
+
+// Response status codes.
+const (
+	statusOK           = 0 // payload is the method result encoding
+	statusError        = 1 // payload is a transport/dispatch error message
+	statusOKCompressed = 2 // payload is a flate-compressed result encoding
+)
+
+// maxFrameSize bounds a single frame to defend against corrupt length
+// prefixes. 512 MiB comfortably exceeds any realistic component payload.
+const maxFrameSize = 512 << 20
+
+// MethodID identifies a component method on the wire.
+type MethodID uint32
+
+// MethodKey hashes a fully-qualified method name ("pkg.Component.Method")
+// to its wire identifier. Both ends of a connection run the same binary, so
+// both compute identical IDs without any negotiation; the handler registry
+// rejects colliding names at registration time.
+func MethodKey(fullName string) MethodID {
+	h := fnv.New32a()
+	_, _ = io.WriteString(h, fullName)
+	return MethodID(h.Sum32())
+}
+
+// header is the fixed-size portion of a request frame, following the type
+// byte. All fields are little-endian.
+//
+//	offset size field
+//	0      8    request id
+//	8      4    method id
+//	12     8    deadline (unix nanos, 0 = none)
+//	20     8    trace id
+//	28     8    span id
+//	36     8    parent span id
+//	44     8    shard key (routing affinity; 0 = unrouted)
+//	52     1    flags
+const headerSize = 53
+
+// header flag bits.
+const (
+	// flagAcceptCompressed tells the server the caller will decompress a
+	// statusOKCompressed response (§5.1: "for network bottlenecked
+	// applications ... the runtime may decide to compress messages on the
+	// wire").
+	flagAcceptCompressed = 1 << 0
+	// flagPayloadCompressed marks the request payload itself as
+	// flate-compressed.
+	flagPayloadCompressed = 1 << 1
+)
+
+type header struct {
+	id       uint64
+	method   MethodID
+	deadline int64
+	trace    uint64
+	span     uint64
+	parent   uint64
+	shard    uint64
+	flags    uint8
+}
+
+func (h *header) encode(b []byte) {
+	_ = b[headerSize-1]
+	binary.LittleEndian.PutUint64(b[0:], h.id)
+	binary.LittleEndian.PutUint32(b[8:], uint32(h.method))
+	binary.LittleEndian.PutUint64(b[12:], uint64(h.deadline))
+	binary.LittleEndian.PutUint64(b[20:], h.trace)
+	binary.LittleEndian.PutUint64(b[28:], h.span)
+	binary.LittleEndian.PutUint64(b[36:], h.parent)
+	binary.LittleEndian.PutUint64(b[44:], h.shard)
+	b[52] = h.flags
+}
+
+func (h *header) decode(b []byte) error {
+	if len(b) < headerSize {
+		return fmt.Errorf("rpc: short request header: %d bytes", len(b))
+	}
+	h.id = binary.LittleEndian.Uint64(b[0:])
+	h.method = MethodID(binary.LittleEndian.Uint32(b[8:]))
+	h.deadline = int64(binary.LittleEndian.Uint64(b[12:]))
+	h.trace = binary.LittleEndian.Uint64(b[20:])
+	h.span = binary.LittleEndian.Uint64(b[28:])
+	h.parent = binary.LittleEndian.Uint64(b[36:])
+	h.shard = binary.LittleEndian.Uint64(b[44:])
+	h.flags = b[52]
+	return nil
+}
+
+// writeFrame writes one length-prefixed frame built from the given chunks.
+// The caller must serialize concurrent writers.
+func writeFrame(w io.Writer, chunks ...[]byte) error {
+	var n int
+	for _, c := range chunks {
+		n += len(c)
+	}
+	if n > maxFrameSize {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(n))
+	buf := make([]byte, 0, 4+n)
+	buf = append(buf, lenBuf[:]...)
+	for _, c := range chunks {
+		buf = append(buf, c...)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed frame payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > maxFrameSize {
+		return nil, fmt.Errorf("rpc: frame length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,320 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/tracing"
+)
+
+// A Handler executes one component method. args is the request payload
+// (already stripped of the RPC header); the returned bytes are the result
+// payload. Application-level errors are encoded inside the result payload
+// by generated code; a non-nil error return here signals a dispatch
+// failure (bad payload, handler panic) and is reported to the caller as a
+// transport error.
+type Handler func(ctx context.Context, args []byte) ([]byte, error)
+
+// CallInfo describes the call being handled, available to handlers via
+// InfoFromContext.
+type CallInfo struct {
+	Method string
+	Trace  tracing.SpanContext
+	Shard  uint64
+}
+
+type callInfoKey struct{}
+
+// InfoFromContext returns the CallInfo for an in-flight handler invocation.
+func InfoFromContext(ctx context.Context) (CallInfo, bool) {
+	ci, ok := ctx.Value(callInfoKey{}).(CallInfo)
+	return ci, ok
+}
+
+// A Server accepts weaver-protocol connections and dispatches requests to
+// registered handlers.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[MethodID]registeredHandler
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	// Metrics.
+	requests *metrics.Counter
+	errored  *metrics.Counter
+	rxBytes  *metrics.Counter
+	txBytes  *metrics.Counter
+}
+
+type registeredHandler struct {
+	name string
+	fn   Handler
+}
+
+// NewServer returns a server with no handlers registered.
+func NewServer() *Server {
+	return &Server{
+		handlers: map[MethodID]registeredHandler{},
+		conns:    map[net.Conn]struct{}{},
+		requests: metrics.Default.Counter("rpc.server.requests"),
+		errored:  metrics.Default.Counter("rpc.server.errors"),
+		rxBytes:  metrics.Default.Counter("rpc.server.rx_bytes"),
+		txBytes:  metrics.Default.Counter("rpc.server.tx_bytes"),
+	}
+}
+
+// Register installs a handler for the fully-qualified method name. It
+// panics if the name (or its 32-bit hash) is already taken: hash collisions
+// must be caught at startup, not mid-request.
+func (s *Server) Register(fullName string, h Handler) {
+	id := MethodKey(fullName)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.handlers[id]; ok {
+		panic(fmt.Sprintf("rpc: method registration conflict: %q and %q share id %#x", prev.name, fullName, id))
+	}
+	s.handlers[id] = registeredHandler{name: fullName, fn: h}
+}
+
+// Serve accepts connections from lis until the server is closed. It always
+// returns a non-nil error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.lis = lis
+	s.mu.Unlock()
+
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Listen starts serving on a fresh TCP listener bound to addr (use
+// "127.0.0.1:0" for an ephemeral port) and returns the bound address.
+// Serving continues on a background goroutine until Close.
+func (s *Server) Listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = s.Serve(lis) }()
+	return lis.Addr().String(), nil
+}
+
+// Close stops the listener, closes all connections, and waits for in-flight
+// handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if lis != nil {
+		lis.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// serveConn owns one connection: it reads frames and dispatches requests,
+// each on its own goroutine, with responses serialized through a write
+// mutex.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+
+	var (
+		writeMu  sync.Mutex
+		inflight sync.Map // request id -> context.CancelFunc
+		connWG   sync.WaitGroup
+	)
+	defer connWG.Wait()
+
+	write := func(chunks ...[]byte) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		var n int
+		for _, c := range chunks {
+			n += len(c)
+		}
+		s.txBytes.Add(uint64(n))
+		return writeFrame(conn, chunks...)
+	}
+
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			// Cancel everything still running on this connection: the
+			// caller is gone.
+			inflight.Range(func(_, v any) bool {
+				v.(context.CancelFunc)()
+				return true
+			})
+			return
+		}
+		s.rxBytes.Add(uint64(len(frame)))
+		if len(frame) == 0 {
+			continue
+		}
+		typ, payload := frame[0], frame[1:]
+		switch typ {
+		case frameRequest:
+			var hdr header
+			if err := hdr.decode(payload); err != nil {
+				continue // malformed; drop
+			}
+			args := payload[headerSize:]
+			s.requests.Inc()
+			if hdr.flags&flagPayloadCompressed != 0 {
+				inflated, err := decompress(args)
+				if err != nil {
+					continue // corrupt payload; drop like other malformed frames
+				}
+				args = inflated
+			}
+
+			ctx, cancel := context.WithCancel(context.Background())
+			if hdr.deadline != 0 {
+				ctx, cancel = context.WithDeadline(context.Background(), time.Unix(0, hdr.deadline))
+			}
+			inflight.Store(hdr.id, cancel)
+
+			connWG.Add(1)
+			go func(hdr header, args []byte) {
+				defer connWG.Done()
+				defer func() {
+					if c, ok := inflight.LoadAndDelete(hdr.id); ok {
+						c.(context.CancelFunc)()
+					}
+				}()
+				result, herr := s.dispatch(ctx, hdr, args)
+
+				var idBuf [9]byte
+				idBuf[0] = frameResponse
+				putUint64(idBuf[1:], hdr.id)
+				if herr != nil {
+					s.errored.Inc()
+					_ = write(idBuf[:], []byte{statusError}, []byte(herr.Error()))
+					return
+				}
+				if hdr.flags&flagAcceptCompressed != 0 && len(result) >= DefaultCompressThreshold {
+					if small, ok := compress(result); ok {
+						_ = write(idBuf[:], []byte{statusOKCompressed}, small)
+						return
+					}
+				}
+				_ = write(idBuf[:], []byte{statusOK}, result)
+			}(hdr, args)
+
+		case frameCancel:
+			if len(payload) < 8 {
+				continue
+			}
+			id := getUint64(payload)
+			if c, ok := inflight.Load(id); ok {
+				c.(context.CancelFunc)()
+			}
+
+		case framePing:
+			_ = write([]byte{framePong}, payload)
+
+		case framePong:
+			// Servers do not send pings; ignore.
+		}
+	}
+}
+
+// dispatch runs the handler for hdr.method, converting panics into errors
+// so one bad request cannot take down the proclet.
+func (s *Server) dispatch(ctx context.Context, hdr header, args []byte) (result []byte, err error) {
+	s.mu.Lock()
+	h, ok := s.handlers[hdr.method]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("rpc: unknown method %#x", hdr.method)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rpc: handler %s panicked: %v\n%s", h.name, r, debug.Stack())
+		}
+	}()
+
+	info := CallInfo{
+		Method: h.name,
+		Trace:  tracing.SpanContext{Trace: tracing.TraceID(hdr.trace), Span: tracing.SpanID(hdr.span), Parent: tracing.SpanID(hdr.parent)},
+		Shard:  hdr.shard,
+	}
+	ctx = context.WithValue(ctx, callInfoKey{}, info)
+	if info.Trace.Valid() {
+		ctx = tracing.ContextWith(ctx, info.Trace)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return h.fn(ctx, args)
+}
+
+// ErrShutdown is returned for calls attempted on a closed client.
+var ErrShutdown = errors.New("rpc: client is shut down")
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func getUint64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -1,0 +1,366 @@
+package simcloud
+
+import (
+	"math"
+	"sort"
+)
+
+// CostModel captures the per-RPC overheads of one transport stack. The
+// defaults below are calibrated against this repository's measured
+// microbenchmarks (BenchmarkCodec*, BenchmarkTransport* in bench_test.go):
+// the unversioned codec marshals a boutique-sized payload in single-digit
+// microseconds, JSON takes tens of microseconds, and an HTTP/1.1 exchange
+// costs several times a bare-TCP frame exchange in CPU on each side.
+type CostModel struct {
+	// CallerCPU is CPU seconds spent by the calling process per RPC
+	// (serialize request, deserialize response, transport bookkeeping).
+	CallerCPU float64
+	// CalleeCPU is CPU seconds spent by the called process per RPC.
+	CalleeCPU float64
+	// RTT is the network round-trip time added per RPC.
+	RTT float64
+}
+
+// Transport cost models, calibrated from bench_test.go measurements on the
+// real implementations (see EXPERIMENTS.md for the measured numbers).
+var (
+	// WeaverCosts: unversioned codec + custom TCP framing.
+	WeaverCosts = CostModel{CallerCPU: 15e-6, CalleeCPU: 15e-6, RTT: 150e-6}
+	// BaselineCosts: JSON + HTTP/1.1 (the gRPC+proto stand-in).
+	BaselineCosts = CostModel{CallerCPU: 110e-6, CalleeCPU: 110e-6, RTT: 250e-6}
+)
+
+// call is one component method invocation in a request flow: business CPU
+// plus sequential downstream calls issued while handling it.
+type call struct {
+	comp string
+	cpu  float64
+	subs []call
+}
+
+// Business-logic CPU per method, in seconds. These are the measured
+// single-process costs of the real boutique implementations (no
+// serialization, no transport), rounded to the microsecond.
+const (
+	cpuFrontendOp  = 200e-6 // HTTP handling + page assembly and rendering
+	cpuCatalogList = 150e-6
+	cpuCatalogGet  = 20e-6
+	cpuConvert     = 15e-6
+	cpuCurrencies  = 30e-6
+	cpuCartOp      = 25e-6
+	cpuRecommend   = 100e-6
+	cpuShipQuote   = 20e-6
+	cpuShipOrder   = 25e-6
+	cpuCharge      = 30e-6
+	cpuEmail       = 30e-6
+	cpuCheckout    = 50e-6
+	cpuAds         = 25e-6
+)
+
+// boutiqueFlows builds the call tree for each load-generator op, mirroring
+// internal/boutique's real call structure (e.g. Home converts every one of
+// the twelve product prices; Checkout touches seven services).
+func boutiqueFlows() map[string]call {
+	products := 12
+	cartItems := 2
+
+	home := call{comp: "Frontend", cpu: cpuFrontendOp}
+	home.subs = append(home.subs, call{comp: "ProductCatalog", cpu: cpuCatalogList})
+	for i := 0; i < products; i++ {
+		home.subs = append(home.subs, call{comp: "Currency", cpu: cpuConvert})
+	}
+	home.subs = append(home.subs,
+		call{comp: "Currency", cpu: cpuCurrencies},
+		call{comp: "AdService", cpu: cpuAds},
+	)
+
+	browse := call{comp: "Frontend", cpu: cpuFrontendOp, subs: []call{
+		{comp: "ProductCatalog", cpu: cpuCatalogGet},
+		{comp: "Currency", cpu: cpuConvert},
+		{comp: "Recommendation", cpu: cpuRecommend, subs: []call{
+			{comp: "ProductCatalog", cpu: cpuCatalogList},
+		}},
+		{comp: "AdService", cpu: cpuAds},
+	}}
+
+	add := call{comp: "Frontend", cpu: cpuFrontendOp, subs: []call{
+		{comp: "ProductCatalog", cpu: cpuCatalogGet},
+		{comp: "Cart", cpu: cpuCartOp},
+	}}
+
+	viewCart := call{comp: "Frontend", cpu: cpuFrontendOp}
+	viewCart.subs = append(viewCart.subs,
+		call{comp: "Cart", cpu: cpuCartOp},
+		call{comp: "Shipping", cpu: cpuShipQuote},
+		call{comp: "Currency", cpu: cpuConvert},
+	)
+	for i := 0; i < cartItems; i++ {
+		viewCart.subs = append(viewCart.subs,
+			call{comp: "ProductCatalog", cpu: cpuCatalogGet},
+			call{comp: "Currency", cpu: cpuConvert},
+		)
+	}
+
+	checkout := call{comp: "Frontend", cpu: cpuFrontendOp}
+	co := call{comp: "Checkout", cpu: cpuCheckout}
+	co.subs = append(co.subs, call{comp: "Cart", cpu: cpuCartOp})
+	for i := 0; i < cartItems; i++ {
+		co.subs = append(co.subs,
+			call{comp: "ProductCatalog", cpu: cpuCatalogGet},
+			call{comp: "Currency", cpu: cpuConvert},
+		)
+	}
+	co.subs = append(co.subs,
+		call{comp: "Shipping", cpu: cpuShipQuote},
+		call{comp: "Currency", cpu: cpuConvert},
+		call{comp: "Payment", cpu: cpuCharge},
+		call{comp: "Shipping", cpu: cpuShipOrder},
+		call{comp: "Cart", cpu: cpuCartOp},
+		call{comp: "Email", cpu: cpuEmail},
+	)
+	checkout.subs = append(checkout.subs,
+		call{comp: "Cart", cpu: cpuCartOp}, // AddToCart before checkout, as the locustfile does
+		co,
+	)
+
+	return map[string]call{
+		"index":         home,
+		"setCurrency":   home,
+		"browseProduct": browse,
+		"addToCart":     add,
+		"viewCart":      viewCart,
+		"checkout":      checkout,
+	}
+}
+
+// opMix is the locustfile's behavior mix.
+var opMix = []struct {
+	op string
+	w  int
+}{
+	{"index", 1}, {"setCurrency", 2}, {"browseProduct", 10},
+	{"addToCart", 2}, {"viewCart", 3}, {"checkout", 1},
+}
+
+// Components lists the boutique's components in the simulation.
+var Components = []string{
+	"Frontend", "ProductCatalog", "Currency", "Cart", "Recommendation",
+	"Shipping", "Payment", "Email", "Checkout", "AdService",
+}
+
+// BoutiqueOptions parameterizes one simulated deployment run.
+type BoutiqueOptions struct {
+	// QPS is the offered request rate.
+	QPS float64
+	// Costs is the transport cost model.
+	Costs CostModel
+	// Groups maps component -> colocation group. Components sharing a
+	// group call each other without RPC cost. Nil means one group per
+	// component (the paper's apples-to-apples configuration).
+	Groups map[string]string
+	// WarmupSeconds and MeasureSeconds shape the virtual-time run
+	// (defaults 90 and 60: enough autoscaler evaluations to settle at the
+	// default 5s interval).
+	WarmupSeconds  float64
+	MeasureSeconds float64
+	// MaxPodsPerService caps autoscaling (default 512).
+	MaxPodsPerService int
+	// Seed drives arrivals and op selection.
+	Seed uint64
+}
+
+// BoutiqueResult reports Table 2's metrics for one run.
+type BoutiqueResult struct {
+	QPS            float64 // offered
+	CompletedQPS   float64 // completed during measurement window
+	TotalCores     float64
+	CoresByService map[string]float64
+	MedianLatency  float64 // seconds
+	P99Latency     float64
+	MeanLatency    float64
+}
+
+// RunBoutique simulates the boutique under load and reports steady-state
+// cores and latency.
+func RunBoutique(opts BoutiqueOptions) BoutiqueResult {
+	if opts.QPS <= 0 {
+		opts.QPS = 1000
+	}
+	if opts.WarmupSeconds <= 0 {
+		opts.WarmupSeconds = 90
+	}
+	if opts.MeasureSeconds <= 0 {
+		opts.MeasureSeconds = 60
+	}
+	if opts.MaxPodsPerService <= 0 {
+		opts.MaxPodsPerService = 512
+	}
+
+	groupOf := func(comp string) string {
+		if opts.Groups == nil {
+			return comp
+		}
+		if g, ok := opts.Groups[comp]; ok {
+			return g
+		}
+		return comp
+	}
+
+	cluster := NewCluster(ClusterConfig{Seed: opts.Seed})
+	groups := map[string]bool{}
+	for _, c := range Components {
+		groups[groupOf(c)] = true
+	}
+	for g := range groups {
+		cluster.AddService(g, 1, 1, opts.MaxPodsPerService)
+	}
+	cluster.StartAutoscaler()
+
+	flows := boutiqueFlows()
+	var opTable []string
+	for _, ow := range opMix {
+		for i := 0; i < ow.w; i++ {
+			opTable = append(opTable, ow.op)
+		}
+	}
+
+	rng := cluster.Rand()
+	eng := cluster.Eng
+	horizon := opts.WarmupSeconds + opts.MeasureSeconds + 5
+
+	var (
+		window    *windowState
+		inWindow  bool
+		latencies []float64
+		completed int
+	)
+
+	// execCall runs one call (and its sequential sub-calls), then k.
+	var execCall func(c call, callerGroup string, k func())
+	execCall = func(c call, callerGroup string, k func()) {
+		g := groupOf(c.comp)
+		runBody := func() {
+			cluster.Exec(g, c.cpu, func() {
+				// Sequential sub-calls.
+				i := 0
+				var next func()
+				next = func() {
+					if i >= len(c.subs) {
+						k()
+						return
+					}
+					sub := c.subs[i]
+					i++
+					execCall(sub, g, next)
+				}
+				next()
+			})
+		}
+		if g == callerGroup {
+			// Local procedure call: no serialization, no network.
+			runBody()
+			return
+		}
+		// Remote: caller pays CPU, half RTT there, callee-side CPU is
+		// folded into the body's queue entry, half RTT back. The external
+		// load generator ("client") is not part of the application, so its
+		// caller-side CPU is not charged to the cluster.
+		chargeCaller := func(k2 func()) {
+			if callerGroup == "client" {
+				k2()
+				return
+			}
+			cluster.Exec(callerGroup, opts.Costs.CallerCPU, k2)
+		}
+		chargeCaller(func() {
+			eng.After(opts.Costs.RTT/2, func() {
+				g2 := g
+				cluster.Exec(g2, opts.Costs.CalleeCPU, func() {
+					cluster.Exec(g2, c.cpu, func() {
+						i := 0
+						var next func()
+						next = func() {
+							if i >= len(c.subs) {
+								eng.After(opts.Costs.RTT/2, k)
+								return
+							}
+							sub := c.subs[i]
+							i++
+							execCall(sub, g2, next)
+						}
+						next()
+					})
+				})
+			})
+		})
+	}
+
+	// Poisson arrivals.
+	var arrive func()
+	arrive = func() {
+		if eng.Now() > horizon-1 {
+			return
+		}
+		// Schedule the next arrival.
+		gap := rng.ExpFloat64() / opts.QPS
+		eng.After(gap, arrive)
+
+		op := opTable[rng.IntN(len(opTable))]
+		flow := flows[op]
+		start := eng.Now()
+		record := inWindow
+
+		// The external hop (load generator to frontend) adds an RTT in
+		// both systems.
+		eng.After(opts.Costs.RTT/2, func() {
+			execCall(flow, "client", func() {
+				end := eng.Now() + opts.Costs.RTT/2
+				if record {
+					latencies = append(latencies, end-start)
+					completed++
+				}
+			})
+		})
+	}
+	eng.After(0, arrive)
+
+	eng.At(opts.WarmupSeconds, func() {
+		window = cluster.MarkWindow()
+		inWindow = true
+	})
+	var report Report
+	eng.At(opts.WarmupSeconds+opts.MeasureSeconds, func() {
+		report = cluster.ReportWindow(window)
+		inWindow = false
+	})
+
+	eng.Run(horizon)
+
+	sort.Float64s(latencies)
+	res := BoutiqueResult{
+		QPS:            opts.QPS,
+		CompletedQPS:   float64(completed) / opts.MeasureSeconds,
+		TotalCores:     report.TotalCores,
+		CoresByService: report.CoresByService,
+	}
+	if n := len(latencies); n > 0 {
+		res.MedianLatency = latencies[n/2]
+		res.P99Latency = latencies[int(math.Min(float64(n-1), 0.99*float64(n)))]
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		res.MeanLatency = sum / float64(n)
+	}
+	return res
+}
+
+// ColocateAll maps every boutique component into one group, modelling the
+// paper's §6.1 co-location experiment.
+func ColocateAll() map[string]string {
+	out := map[string]string{}
+	for _, c := range Components {
+		out[c] = "app"
+	}
+	return out
+}

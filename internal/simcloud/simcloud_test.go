@@ -1,0 +1,201 @@
+package simcloud
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEvents(t *testing.T) {
+	var eng Engine
+	var order []int
+	eng.At(3, func() { order = append(order, 3) })
+	eng.At(1, func() { order = append(order, 1) })
+	eng.At(2, func() { order = append(order, 2) })
+	eng.Run(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	var eng Engine
+	ran := false
+	eng.At(5, func() { ran = true })
+	eng.Run(4)
+	if ran {
+		t.Error("event past horizon ran")
+	}
+}
+
+func TestEngineStableTieBreak(t *testing.T) {
+	var eng Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.At(1, func() { order = append(order, i) })
+	}
+	eng.Run(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestQuickEngineTimeMonotonic(t *testing.T) {
+	f := func(delays []uint16) bool {
+		var eng Engine
+		last := -1.0
+		monotonic := true
+		for _, d := range delays {
+			eng.At(float64(d)/100, func() {
+				if eng.Now() < last {
+					monotonic = false
+				}
+				last = eng.Now()
+			})
+		}
+		eng.Run(1e9)
+		return monotonic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPodQueueing(t *testing.T) {
+	cluster := NewCluster(ClusterConfig{Seed: 1})
+	cluster.AddService("s", 1, 1, 1)
+	var done []float64
+	for i := 0; i < 3; i++ {
+		cluster.Exec("s", 1.0, func() { done = append(done, cluster.Eng.Now()) })
+	}
+	cluster.Eng.Run(100)
+	// One single-core pod: three 1s jobs complete at 1, 2, 3.
+	want := []float64{1, 2, 3}
+	if len(done) != 3 {
+		t.Fatalf("completions = %v", done)
+	}
+	for i := range want {
+		if math.Abs(done[i]-want[i]) > 1e-9 {
+			t.Errorf("completion %d at %v, want %v", i, done[i], want[i])
+		}
+	}
+}
+
+func TestAutoscalerAddsPods(t *testing.T) {
+	cluster := NewCluster(ClusterConfig{Seed: 1, ScaleInterval: 1, PodStartupDelay: 1})
+	s := cluster.AddService("s", 1, 1, 10)
+	cluster.StartAutoscaler()
+
+	// Offer 3 cores of load per second for 30 virtual seconds.
+	var offer func()
+	offer = func() {
+		if cluster.Eng.Now() > 30 {
+			return
+		}
+		for i := 0; i < 300; i++ {
+			cluster.Exec("s", 0.01, func() {})
+		}
+		cluster.Eng.After(1, offer)
+	}
+	cluster.Eng.After(0, offer)
+	cluster.Eng.Run(30) // while load is still flowing
+
+	if s.Pods() < 4 {
+		t.Errorf("pods = %d, want >= 4 for 3 cores of load at 0.65 target", s.Pods())
+	}
+}
+
+func TestAutoscalerScalesDownWhenIdle(t *testing.T) {
+	cluster := NewCluster(ClusterConfig{Seed: 1, ScaleInterval: 1, PodStartupDelay: 1})
+	s := cluster.AddService("s", 1, 1, 10)
+	cluster.StartAutoscaler()
+	// Brief burst, then silence.
+	for i := 0; i < 500; i++ {
+		cluster.Exec("s", 0.01, func() {})
+	}
+	cluster.Eng.Run(60)
+	if s.Pods() != s.MinPods {
+		t.Errorf("pods = %d after long idle, want %d", s.Pods(), s.MinPods)
+	}
+}
+
+func TestBoutiqueShapeAtModerateLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	baseline := RunBoutique(BoutiqueOptions{QPS: 3000, Costs: BaselineCosts, Seed: 1, WarmupSeconds: 60, MeasureSeconds: 40})
+	weaver := RunBoutique(BoutiqueOptions{QPS: 3000, Costs: WeaverCosts, Seed: 1, WarmupSeconds: 60, MeasureSeconds: 40})
+	colocated := RunBoutique(BoutiqueOptions{QPS: 3000, Costs: WeaverCosts, Groups: ColocateAll(), Seed: 1, WarmupSeconds: 60, MeasureSeconds: 40})
+
+	// Table 2's qualitative claims must hold at any scale:
+	// baseline costs more and is slower than weaver; full colocation beats
+	// both.
+	if weaver.TotalCores >= baseline.TotalCores {
+		t.Errorf("weaver cores %.1f >= baseline cores %.1f", weaver.TotalCores, baseline.TotalCores)
+	}
+	if weaver.MedianLatency >= baseline.MedianLatency {
+		t.Errorf("weaver p50 %.2fms >= baseline p50 %.2fms", weaver.MedianLatency*1e3, baseline.MedianLatency*1e3)
+	}
+	if colocated.TotalCores >= weaver.TotalCores {
+		t.Errorf("colocated cores %.1f >= weaver cores %.1f", colocated.TotalCores, weaver.TotalCores)
+	}
+	if colocated.MedianLatency >= weaver.MedianLatency {
+		t.Errorf("colocated p50 >= weaver p50")
+	}
+
+	// The factors should be in the paper's ballpark (2-4x cost, ~2x
+	// latency for baseline/weaver).
+	costRatio := baseline.TotalCores / weaver.TotalCores
+	if costRatio < 1.4 || costRatio > 6 {
+		t.Errorf("cost ratio = %.2f, out of plausible range", costRatio)
+	}
+	latRatio := baseline.MedianLatency / weaver.MedianLatency
+	if latRatio < 1.2 || latRatio > 5 {
+		t.Errorf("latency ratio = %.2f, out of plausible range", latRatio)
+	}
+
+	// The offered load must actually be served.
+	for _, r := range []BoutiqueResult{baseline, weaver, colocated} {
+		if r.CompletedQPS < 0.9*r.QPS {
+			t.Errorf("completed %.0f of offered %.0f qps", r.CompletedQPS, r.QPS)
+		}
+	}
+}
+
+func TestBoutiqueDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	a := RunBoutique(BoutiqueOptions{QPS: 200, Costs: WeaverCosts, Seed: 42, WarmupSeconds: 20, MeasureSeconds: 20})
+	b := RunBoutique(BoutiqueOptions{QPS: 200, Costs: WeaverCosts, Seed: 42, WarmupSeconds: 20, MeasureSeconds: 20})
+	if a.TotalCores != b.TotalCores || a.MedianLatency != b.MedianLatency {
+		t.Errorf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestColocationReducesRPCs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	// Partial colocation (frontend+currency+catalog merged) should land
+	// between no colocation and full colocation in cores.
+	partial := map[string]string{}
+	for _, c := range Components {
+		partial[c] = c
+	}
+	partial["Frontend"] = "merged"
+	partial["Currency"] = "merged"
+	partial["ProductCatalog"] = "merged"
+
+	none := RunBoutique(BoutiqueOptions{QPS: 500, Costs: WeaverCosts, Seed: 3, WarmupSeconds: 30, MeasureSeconds: 30})
+	part := RunBoutique(BoutiqueOptions{QPS: 500, Costs: WeaverCosts, Groups: partial, Seed: 3, WarmupSeconds: 30, MeasureSeconds: 30})
+	full := RunBoutique(BoutiqueOptions{QPS: 500, Costs: WeaverCosts, Groups: ColocateAll(), Seed: 3, WarmupSeconds: 30, MeasureSeconds: 30})
+
+	if !(full.TotalCores <= part.TotalCores && part.TotalCores <= none.TotalCores) {
+		t.Errorf("cores not monotone in colocation: full=%.1f part=%.1f none=%.1f",
+			full.TotalCores, part.TotalCores, none.TotalCores)
+	}
+}

@@ -1,0 +1,119 @@
+// Package testpkg defines small components used by integration, chaos, and
+// deployment tests across the repository. Its weaver_gen.go is produced by
+// cmd/weavergen, so these tests also exercise generated code end to end.
+package testpkg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/weaver"
+)
+
+// Echo returns its argument, tagged with the process id of the replica
+// that served the call, so tests can observe placement and replication.
+type Echo interface {
+	Echo(ctx context.Context, msg string) (string, error)
+	// WhoAmI returns the serving process id.
+	WhoAmI(ctx context.Context) (int, error)
+}
+
+type echoImpl struct {
+	weaver.Implements[Echo]
+}
+
+func (e *echoImpl) Echo(_ context.Context, msg string) (string, error) {
+	return msg, nil
+}
+
+func (e *echoImpl) WhoAmI(_ context.Context) (int, error) {
+	return os.Getpid(), nil
+}
+
+// Counter is a routed, stateful component: every replica keeps its own
+// counts, so affinity routing is observable as consistent counts per key.
+type Counter interface {
+	Add(ctx context.Context, key string, delta int64) (int64, error)
+	Value(ctx context.Context, key string) (int64, error)
+}
+
+type counterRouter struct{}
+
+func (counterRouter) Add(key string, delta int64) string { return key }
+func (counterRouter) Value(key string) string            { return key }
+
+type counterImpl struct {
+	weaver.Implements[Counter]
+	weaver.WithRouter[counterRouter]
+
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+func (c *counterImpl) Init(context.Context) error {
+	c.counts = map[string]int64{}
+	return nil
+}
+
+func (c *counterImpl) Add(_ context.Context, key string, delta int64) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts[key] += delta
+	return c.counts[key], nil
+}
+
+func (c *counterImpl) Value(_ context.Context, key string) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[key], nil
+}
+
+// Chain calls Echo, demonstrating a component dependency that crosses
+// process boundaries under multiprocess deployments.
+type Chain interface {
+	Relay(ctx context.Context, msg string, n int) (string, error)
+}
+
+type chainImpl struct {
+	weaver.Implements[Chain]
+	echo weaver.Ref[Echo]
+}
+
+func (c *chainImpl) Relay(ctx context.Context, msg string, n int) (string, error) {
+	out := msg
+	for i := 0; i < n; i++ {
+		var err error
+		out, err = c.echo.Get().Echo(ctx, out+".")
+		if err != nil {
+			return "", fmt.Errorf("relay hop %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Failer fails on demand, for error-propagation and chaos tests.
+type Failer interface {
+	Maybe(ctx context.Context, fail bool) (string, error)
+	Crashy(ctx context.Context) (int64, error)
+}
+
+var crashyCalls atomic.Int64
+
+type failerImpl struct {
+	weaver.Implements[Failer]
+}
+
+func (f *failerImpl) Maybe(_ context.Context, fail bool) (string, error) {
+	if fail {
+		return "", errors.New("requested failure")
+	}
+	return "ok", nil
+}
+
+func (f *failerImpl) Crashy(_ context.Context) (int64, error) {
+	return crashyCalls.Add(1), nil
+}

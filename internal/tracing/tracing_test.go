@@ -1,0 +1,112 @@
+package tracing
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewTraceAndChild(t *testing.T) {
+	sc := NewTrace()
+	if !sc.Valid() {
+		t.Fatal("new trace invalid")
+	}
+	child := sc.Child()
+	if child.Trace != sc.Trace {
+		t.Error("child changed trace id")
+	}
+	if child.Parent != sc.Span {
+		t.Error("child parent != parent span")
+	}
+	if child.Span == sc.Span {
+		t.Error("child reused span id")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	sc := NewTrace()
+	ctx := ContextWith(context.Background(), sc)
+	got, ok := FromContext(ctx)
+	if !ok || got != sc {
+		t.Errorf("FromContext = %+v, %v", got, ok)
+	}
+	if _, ok := FromContext(context.Background()); ok {
+		t.Error("empty context carries a span")
+	}
+}
+
+func TestRecorderSampling(t *testing.T) {
+	always := NewRecorder(100, 1.0)
+	never := NewRecorder(100, 0)
+	span := Span{Trace: 42, ID: 1, Component: "C"}
+	always.Record(span)
+	never.Record(span)
+	if always.Len() != 1 {
+		t.Errorf("always recorder len = %d", always.Len())
+	}
+	if never.Len() != 0 {
+		t.Errorf("never recorder len = %d", never.Len())
+	}
+}
+
+func TestSamplingConsistentAcrossRecorders(t *testing.T) {
+	// The same trace must get the same decision from any recorder with the
+	// same fraction — that is what makes uncoordinated head sampling work
+	// across processes.
+	a := NewRecorder(0, 0.25)
+	b := NewRecorder(0, 0.25)
+	f := func(id uint64) bool {
+		return a.Sampled(TraceID(id)) == b.Sampled(TraceID(id))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplingFractionApproximate(t *testing.T) {
+	r := NewRecorder(0, 0.3)
+	sampled := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.Sampled(TraceID(NewTrace().Trace)) {
+			sampled++
+		}
+	}
+	frac := float64(sampled) / n
+	if frac < 0.25 || frac > 0.35 {
+		t.Errorf("sampled fraction = %.3f, want ~0.30", frac)
+	}
+}
+
+func TestRecorderBounded(t *testing.T) {
+	r := NewRecorder(10, 1.0)
+	for i := 0; i < 50; i++ {
+		r.Record(Span{Trace: 1, ID: uint64(i + 1)})
+	}
+	spans := r.Drain()
+	if len(spans) != 10 {
+		t.Errorf("retained = %d", len(spans))
+	}
+	if spans[0].ID != 41 {
+		t.Errorf("oldest retained = %d, want 41", spans[0].ID)
+	}
+	if r.Len() != 0 {
+		t.Error("Drain did not empty recorder")
+	}
+}
+
+func TestSpanDuration(t *testing.T) {
+	s := Span{StartNanos: 1000, EndNanos: 4000}
+	if s.Duration() != 3*time.Microsecond {
+		t.Errorf("duration = %v", s.Duration())
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Span{Trace: 1}) // must not panic
+	if r.Sampled(1) {
+		t.Error("nil recorder samples")
+	}
+}

@@ -1,0 +1,48 @@
+package weaver
+
+import (
+	"context"
+	"fmt"
+)
+
+// ExampleInit shows the paper's Figure 2 flow: initialize the application,
+// obtain a component client, and call a method. In a single-process
+// deployment (the default when run directly) the call is a local procedure
+// call; under the multiprocess deployer the identical code performs an RPC.
+func ExampleInit() {
+	ctx := context.Background()
+	app, err := Init(ctx)
+	if err != nil {
+		fmt.Println("init:", err)
+		return
+	}
+	defer app.Shutdown(ctx)
+
+	// Greeter and Adder are test components registered in this package's
+	// tests; real applications use weavergen-generated registrations.
+	greeter, err := Get[Greeter](app)
+	if err != nil {
+		fmt.Println("get:", err)
+		return
+	}
+	msg, err := greeter.Greet(ctx, "World")
+	if err != nil {
+		fmt.Println("greet:", err)
+		return
+	}
+	fmt.Println(msg)
+	// Output: Hello, World! (6)
+}
+
+// ExampleGet demonstrates that Get returns the same client for repeated
+// requests of one component.
+func ExampleGet() {
+	ctx := context.Background()
+	app, _ := Init(ctx)
+	defer app.Shutdown(ctx)
+
+	a1 := MustGet[Adder](app)
+	sum, _ := a1.Add(ctx, 2, 3)
+	fmt.Println(sum)
+	// Output: 5
+}

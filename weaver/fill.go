@@ -1,0 +1,94 @@
+package weaver
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"reflect"
+	"strings"
+	"unsafe"
+
+	"repro/internal/logging"
+)
+
+// FillComponent injects runtime state into a freshly allocated component
+// implementation: the Implements embedding's state, every Ref field's
+// client, and every Listener field's network listener. It is exported for
+// use by deployer implementations; application code never calls it.
+//
+// impl must be a pointer to the implementation struct. resolve maps a
+// referenced component interface type to its client. listen provides
+// listeners by name; a nil listen makes Listener fields an error.
+//
+// Ref and Listener fields may be unexported (and usually are); they are set
+// through unsafe addressing, as the fields belong to the application's own
+// struct and the write happens before the component is published.
+func FillComponent(
+	impl any,
+	name string,
+	logger *logging.Logger,
+	resolve func(reflect.Type) (any, error),
+	listen func(name string) (net.Listener, error),
+) error {
+	p := reflect.ValueOf(impl)
+	if p.Kind() != reflect.Pointer || p.IsNil() || p.Elem().Kind() != reflect.Struct {
+		return fmt.Errorf("weaver: component %s: implementation must be a non-nil struct pointer, got %T", name, impl)
+	}
+	v := p.Elem()
+	t := v.Type()
+
+	sawImplements := false
+	for i := 0; i < t.NumField(); i++ {
+		f := v.Field(i)
+		sf := t.Field(i)
+
+		// Make unexported fields addressable and interface-able.
+		if !f.CanInterface() {
+			f = reflect.NewAt(f.Type(), unsafe.Pointer(f.UnsafeAddr())).Elem()
+		}
+		if !f.CanAddr() {
+			continue
+		}
+		addr := f.Addr().Interface()
+
+		switch x := addr.(type) {
+		case stateSetter:
+			x.setState(&implState{name: name, logger: logger})
+			sawImplements = true
+		case refSetter:
+			dep := x.refType()
+			client, err := resolve(dep)
+			if err != nil {
+				return fmt.Errorf("weaver: component %s: resolving %s (field %s): %w", name, dep, sf.Name, err)
+			}
+			x.setRef(client)
+		case *Listener:
+			lname := sf.Tag.Get("weaver")
+			if lname == "" {
+				lname = strings.ToLower(sf.Name)
+			}
+			if listen == nil {
+				return fmt.Errorf("weaver: component %s: Listener field %s but deployer provides no listeners", name, sf.Name)
+			}
+			lis, err := listen(lname)
+			if err != nil {
+				return fmt.Errorf("weaver: component %s: listener %q: %w", name, lname, err)
+			}
+			x.Listener = lis
+		}
+	}
+	if !sawImplements {
+		return fmt.Errorf("weaver: component %s: implementation does not embed weaver.Implements", name)
+	}
+	return nil
+}
+
+// defaultListen opens a listener for the given name: the address comes from
+// WEAVER_LISTEN_<NAME> if set, otherwise an ephemeral localhost port.
+func defaultListen(name string) (net.Listener, error) {
+	addr := os.Getenv("WEAVER_LISTEN_" + strings.ToUpper(name))
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	return net.Listen("tcp", addr)
+}

@@ -1,0 +1,97 @@
+package weaver
+
+import (
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/logging"
+)
+
+type FillTestComp interface{ M() }
+
+type fillTestImpl struct {
+	Implements[FillTestComp]
+	Web   Listener `weaver:"storefront"`
+	admin Listener // unexported, no tag: name defaults to "admin"
+	dep   Ref[Adder]
+}
+
+func (f *fillTestImpl) M() {}
+
+func TestFillComponentListenersAndRefs(t *testing.T) {
+	var requested []string
+	listen := func(name string) (net.Listener, error) {
+		requested = append(requested, name)
+		return net.Listen("tcp", "127.0.0.1:0")
+	}
+	resolved := map[string]bool{}
+	resolve := func(tp reflect.Type) (any, error) {
+		resolved[tp.Name()] = true
+		return adderClientStub{}, nil
+	}
+	impl := &fillTestImpl{}
+	logger := logging.New(logging.Options{Sink: logging.Discard})
+	if err := FillComponent(impl, "test/FillTestComp", logger, resolve, listen); err != nil {
+		t.Fatal(err)
+	}
+
+	// Listener names: tag wins, else lowercased field name.
+	if len(requested) != 2 || requested[0] != "storefront" || requested[1] != "admin" {
+		t.Errorf("listener names = %v", requested)
+	}
+	if impl.Web.Listener == nil || impl.admin.Listener == nil {
+		t.Error("listeners not injected")
+	}
+	impl.Web.Close()
+	impl.admin.Close()
+
+	// Unexported Ref fields are injected too.
+	if !resolved["Adder"] {
+		t.Errorf("resolved = %v", resolved)
+	}
+	if impl.dep.Get() == nil {
+		t.Error("ref not injected")
+	}
+
+	// The Implements embedding got its logger.
+	if impl.Logger() == nil {
+		t.Error("no logger")
+	}
+}
+
+func TestFillComponentListenerWithoutProvider(t *testing.T) {
+	impl := &fillTestImpl{}
+	logger := logging.New(logging.Options{Sink: logging.Discard})
+	resolve := func(reflect.Type) (any, error) { return adderClientStub{}, nil }
+	err := FillComponent(impl, "test/FillTestComp", logger, resolve, nil)
+	if err == nil || !strings.Contains(err.Error(), "no listeners") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFillComponentNonPointer(t *testing.T) {
+	err := FillComponent(fillTestImpl{}, "x", nil, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "struct pointer") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFillComponentResolveError(t *testing.T) {
+	impl := &greeterImpl{}
+	logger := logging.New(logging.Options{Sink: logging.Discard})
+	resolve := func(reflect.Type) (any, error) {
+		return nil, errTestResolve
+	}
+	err := FillComponent(impl, "test/Greeter", logger, resolve, nil)
+	if err == nil || !strings.Contains(err.Error(), "resolve failed") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+type errResolve string
+
+func (e errResolve) Error() string { return string(e) }
+
+var errTestResolve = errResolve("resolve failed")

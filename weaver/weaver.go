@@ -1,0 +1,198 @@
+// Package weaver implements the programming model proposed in "Towards
+// Modern Development of Cloud Applications" (HotOS '23): write a
+// distributed application as a single, logically-monolithic binary divided
+// into components, and let a runtime decide how the components are
+// physically distributed, replicated, and scaled.
+//
+// A component is declared as a Go interface plus an implementation struct
+// that embeds Implements:
+//
+//	type Hello interface {
+//		Greet(ctx context.Context, name string) (string, error)
+//	}
+//
+//	type hello struct {
+//		weaver.Implements[Hello]
+//	}
+//
+//	func (h *hello) Greet(ctx context.Context, name string) (string, error) {
+//		return fmt.Sprintf("Hello, %s!", name), nil
+//	}
+//
+// Applications are initialized with Init and obtain component clients with
+// Get:
+//
+//	app, err := weaver.Init(ctx)
+//	hello, err := weaver.Get[Hello](app)
+//	fmt.Println(hello.Greet(ctx, "World"))
+//
+// Method calls on the returned client are plain procedure calls when the
+// callee is co-located with the caller, and remote procedure calls over a
+// custom TCP protocol when it is not. The decision is made by the deployer,
+// not by this code, and can change between deployments without touching
+// application logic — the decoupling of logical and physical boundaries
+// that is the heart of the paper.
+//
+// Component implementations may declare dependencies on other components
+// with Ref fields, network listeners with Listener fields, and affinity
+// routing with a WithRouter embedding. Non-idempotent methods (payments,
+// shipments) can be annotated with a "//weaver:noretry" directive in the
+// interface method's doc comment, and the runtime will never retry them on
+// transport failures, preserving at-most-once execution. Run "weavergen"
+// (cmd/weavergen) over a package to generate the marshaling and stub code
+// that makes remote invocation possible; generated files register
+// everything with the runtime via the internal codegen registry.
+package weaver
+
+import (
+	"context"
+	"net"
+	"reflect"
+
+	"repro/internal/codegen"
+	"repro/internal/logging"
+)
+
+// Implements is embedded in a component implementation struct to declare
+// that the struct implements the component interface T:
+//
+//	type cache struct {
+//		weaver.Implements[Cache]
+//		...
+//	}
+//
+// The embedding also gives the implementation access to per-component
+// runtime facilities such as its Logger.
+type Implements[T any] struct {
+	state *implState
+}
+
+// implState is injected by the runtime when the component is created.
+type implState struct {
+	name   string
+	logger *logging.Logger
+}
+
+// Logger returns a logger scoped to this component. It is safe to call
+// from any component method after initialization.
+func (i *Implements[T]) Logger() *logging.Logger {
+	if i.state == nil || i.state.logger == nil {
+		return logging.New(logging.Options{Component: "uninitialized"})
+	}
+	return i.state.logger
+}
+
+// setState is called by the runtime during component construction.
+func (i *Implements[T]) setState(s *implState) { i.state = s }
+
+// implemented is a marker method used to verify, at compile time, that an
+// implementation struct embeds Implements of the right interface.
+func (i *Implements[T]) implemented(T) {}
+
+// stateSetter is the injection hook shared with the fill logic.
+type stateSetter interface {
+	setState(*implState)
+}
+
+// InstanceOf verifies at compile time that an implementation embeds
+// Implements[T]. The generator emits assertions like:
+//
+//	var _ weaver.InstanceOf[Hello] = (*hello)(nil)
+type InstanceOf[T any] interface {
+	implemented(T)
+}
+
+// Ref declares a dependency on the component with interface T. The runtime
+// fills Ref fields of an implementation struct before its Init method runs:
+//
+//	type checkout struct {
+//		weaver.Implements[Checkout]
+//		cart weaver.Ref[Cart]
+//	}
+//
+//	func (c *checkout) PlaceOrder(ctx context.Context, ...) {
+//		items, err := c.cart.Get().Items(ctx, user)
+//		...
+//	}
+type Ref[T any] struct {
+	value T
+}
+
+// Get returns the referenced component's client.
+func (r Ref[T]) Get() T { return r.value }
+
+// setRef is called by the runtime during fill.
+func (r *Ref[T]) setRef(v any) { r.value = v.(T) }
+
+// refType reports the referenced interface type.
+func (r *Ref[T]) refType() reflect.Type { return reflect.TypeOf((*T)(nil)).Elem() }
+
+type refSetter interface {
+	setRef(any)
+	refType() reflect.Type
+}
+
+// Listener is a network listener field filled by the runtime, so that
+// components (typically an HTTP front end) can accept external traffic
+// without hard-coding addresses:
+//
+//	type frontend struct {
+//		weaver.Implements[Frontend]
+//		web weaver.Listener `weaver:"web"`
+//	}
+//
+// The deployer chooses the address; set WEAVER_LISTEN_<NAME>=host:port to
+// pin one.
+type Listener struct {
+	net.Listener
+}
+
+// WithRouter is embedded in a component implementation to enable affinity
+// routing (paper §5.2). R is a router type with one method per routed
+// component method; each router method takes the same arguments as the
+// component method (without the context) and returns the routing key as a
+// string:
+//
+//	type cacheRouter struct{}
+//	func (cacheRouter) Get(key string) string { return key }
+//
+//	type cache struct {
+//		weaver.Implements[Cache]
+//		weaver.WithRouter[cacheRouter]
+//	}
+//
+// Calls with equal routing keys are directed to the same replica whenever
+// the current assignment allows it.
+type WithRouter[R any] struct{}
+
+// routerType reports the router type for reflection-based tooling.
+func (WithRouter[R]) routerType() reflect.Type { return reflect.TypeOf((*R)(nil)).Elem() }
+
+// RemoteError is the error type received by callers when a remote component
+// method returns a non-nil error. Only the message crosses the wire.
+type RemoteError = codegen.RemoteError
+
+// Get returns a client for the component with interface T, creating the
+// component if necessary (paper Figure 2). The returned value is safe for
+// concurrent use by multiple goroutines.
+func Get[T any](app *App) (T, error) {
+	var zero T
+	iface := reflect.TypeOf((*T)(nil)).Elem()
+	v, err := app.runtime.Get(app.ctx, iface)
+	if err != nil {
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// MustGet is Get, panicking on error. It mirrors the paper's Figure 2
+// pseudo-code where initialization errors are fatal.
+func MustGet[T any](app *App) T {
+	v, err := Get[T](app)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+var _ = context.Background // keep context imported for doc examples

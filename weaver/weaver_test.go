@@ -1,0 +1,268 @@
+package weaver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/routing"
+)
+
+// The test components below are registered the way weavergen-generated code
+// registers real ones; this file is the executable specification for the
+// generator's output shape.
+
+type Adder interface {
+	Add(ctx context.Context, a, b int) (int, error)
+}
+
+type adderImpl struct {
+	Implements[Adder]
+	inits atomic.Int32
+}
+
+func (a *adderImpl) Init(ctx context.Context) error {
+	a.inits.Add(1)
+	return nil
+}
+
+func (a *adderImpl) Add(ctx context.Context, x, y int) (int, error) {
+	if x == 13 {
+		return 0, errors.New("unlucky")
+	}
+	return x + y, nil
+}
+
+type Greeter interface {
+	Greet(ctx context.Context, name string) (string, error)
+}
+
+type greeterImpl struct {
+	Implements[Greeter]
+	adder Ref[Adder]
+}
+
+func (g *greeterImpl) Greet(ctx context.Context, name string) (string, error) {
+	n, err := g.adder.Get().Add(ctx, len(name), 1)
+	if err != nil {
+		return "", err
+	}
+	g.Logger().Info("greeting", "name", name)
+	return fmt.Sprintf("Hello, %s! (%d)", name, n), nil
+}
+
+// --- registration boilerplate, mirroring weavergen output ---
+
+type adderAddArgs struct {
+	P0 int
+	P1 int
+}
+
+type adderAddRes struct {
+	R0     int
+	Err    string
+	HasErr bool
+}
+
+type adderClientStub struct {
+	conn codegen.Conn
+	add  *codegen.MethodSpec
+}
+
+func (s adderClientStub) Add(ctx context.Context, a, b int) (int, error) {
+	args := adderAddArgs{P0: a, P1: b}
+	var res adderAddRes
+	if err := s.conn.Invoke(ctx, "weaver_test/Adder", s.add, &args, &res, 0, false); err != nil {
+		return 0, err
+	}
+	return res.R0, codegen.WireToError(res.Err, res.HasErr)
+}
+
+type greeterGreetArgs struct {
+	P0 string
+}
+
+type greeterGreetRes struct {
+	R0     string
+	Err    string
+	HasErr bool
+}
+
+type greeterClientStub struct {
+	conn  codegen.Conn
+	greet *codegen.MethodSpec
+}
+
+func (s greeterClientStub) Greet(ctx context.Context, name string) (string, error) {
+	args := greeterGreetArgs{P0: name}
+	var res greeterGreetRes
+	if err := s.conn.Invoke(ctx, "weaver_test/Greeter", s.greet, &args, &res, 0, false); err != nil {
+		return "", err
+	}
+	return res.R0, codegen.WireToError(res.Err, res.HasErr)
+}
+
+func init() {
+	adderMethods := []*codegen.MethodSpec{{
+		Name:    "Add",
+		NewArgs: func() any { return &adderAddArgs{} },
+		NewRes:  func() any { return &adderAddRes{} },
+		Do: func(ctx context.Context, impl, args, res any) {
+			a := args.(*adderAddArgs)
+			r := res.(*adderAddRes)
+			var err error
+			r.R0, err = impl.(Adder).Add(ctx, a.P0, a.P1)
+			r.Err, r.HasErr = codegen.ErrorToWire(err)
+		},
+	}}
+	codegen.Register(codegen.Registration{
+		Name:    "weaver_test/Adder",
+		Iface:   reflect.TypeOf((*Adder)(nil)).Elem(),
+		Impl:    reflect.TypeOf(adderImpl{}),
+		Methods: adderMethods,
+		ClientStub: func(conn codegen.Conn) any {
+			return adderClientStub{conn: conn, add: adderMethods[0]}
+		},
+	})
+
+	greeterMethods := []*codegen.MethodSpec{{
+		Name:    "Greet",
+		NewArgs: func() any { return &greeterGreetArgs{} },
+		NewRes:  func() any { return &greeterGreetRes{} },
+		Do: func(ctx context.Context, impl, args, res any) {
+			a := args.(*greeterGreetArgs)
+			r := res.(*greeterGreetRes)
+			var err error
+			r.R0, err = impl.(Greeter).Greet(ctx, a.P0)
+			r.Err, r.HasErr = codegen.ErrorToWire(err)
+		},
+	}}
+	codegen.Register(codegen.Registration{
+		Name:    "weaver_test/Greeter",
+		Iface:   reflect.TypeOf((*Greeter)(nil)).Elem(),
+		Impl:    reflect.TypeOf(greeterImpl{}),
+		Methods: greeterMethods,
+		ClientStub: func(conn codegen.Conn) any {
+			return greeterClientStub{conn: conn, greet: greeterMethods[0]}
+		},
+	})
+}
+
+func TestSingleProcessHelloWorld(t *testing.T) {
+	ctx := context.Background()
+	app, err := Init(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Shutdown(ctx)
+
+	greeter, err := Get[Greeter](app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := greeter.Greet(ctx, "World")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "Hello, World! (6)" {
+		t.Errorf("Greet = %q", got)
+	}
+}
+
+func TestGetReturnsSameClient(t *testing.T) {
+	ctx := context.Background()
+	app, err := Init(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Shutdown(ctx)
+
+	a1 := MustGet[Adder](app)
+	a2 := MustGet[Adder](app)
+	if a1 != a2 {
+		t.Error("Get returned distinct clients for the same component")
+	}
+}
+
+func TestApplicationErrorPropagates(t *testing.T) {
+	ctx := context.Background()
+	app, err := Init(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Shutdown(ctx)
+
+	adder := MustGet[Adder](app)
+	_, err = adder.Add(ctx, 13, 1)
+	if err == nil || !strings.Contains(err.Error(), "unlucky") {
+		t.Errorf("err = %v, want unlucky", err)
+	}
+}
+
+func TestRefInjectionAndLocalCalls(t *testing.T) {
+	ctx := context.Background()
+	app, err := Init(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Shutdown(ctx)
+
+	// Greeter depends on Adder via Ref; a working Greet proves injection.
+	g := MustGet[Greeter](app)
+	if _, err := g.Greet(ctx, "x"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The call graph must show greeter -> adder as a local edge.
+	edges := app.CallGraph().Edges()
+	found := false
+	for _, e := range edges {
+		if e.Caller == "weaver_test/Greeter" && e.Callee == "weaver_test/Adder" && e.Method == "Add" {
+			found = true
+			if e.Remote != 0 {
+				t.Errorf("local call recorded as remote: %+v", e)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("greeter->adder edge missing from call graph: %+v", edges)
+	}
+}
+
+func TestGetUnregisteredInterface(t *testing.T) {
+	ctx := context.Background()
+	app, err := Init(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Shutdown(ctx)
+
+	type NotAComponent interface{ Nope() }
+	_, err = Get[NotAComponent](app)
+	if err == nil {
+		t.Error("Get of unregistered interface succeeded")
+	}
+}
+
+func TestFillComponentRejectsMissingImplements(t *testing.T) {
+	type bare struct{ X int }
+	err := FillComponent(&bare{}, "test/Bare", nil, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "Implements") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRouterKeyHashing(t *testing.T) {
+	// Sanity-check the routing key helper used by generated Shard funcs.
+	if routing.KeyHash("user-1") == routing.KeyHash("user-2") {
+		t.Error("distinct keys hash equal")
+	}
+	if routing.KeyHash("user-1") != routing.KeyHash("user-1") {
+		t.Error("hash not deterministic")
+	}
+}

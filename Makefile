@@ -1,0 +1,19 @@
+.PHONY: check build vet test race bench
+
+# Tier-1 verification: everything a PR must keep green.
+check: vet build race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -run xxx -bench . -benchtime 1x .

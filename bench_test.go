@@ -11,6 +11,8 @@
 //	BenchmarkAffinityRouting   ablation A4: §5.2 affinity benefit
 //	BenchmarkRollout           ablation A5: §4.4 rolling vs atomic updates
 //	BenchmarkPlacement         ablation A6: §5.1 planning cost
+//	BenchmarkAdmissionControl  ablation A8: admission-control overhead
+//	BenchmarkHedgedTailLatency ablation A8: §5 hedging vs tail latency
 //
 // Custom metrics: cores (avg provisioned cores), p50_ms (median latency),
 // hit_rate (cache hits/lookups), failure_rate (failed/total requests).
@@ -23,6 +25,7 @@ import (
 	"math/rand/v2"
 	"net"
 	"reflect"
+	"sort"
 	"testing"
 	"time"
 
@@ -30,6 +33,8 @@ import (
 	"repro/internal/boutique"
 	"repro/internal/codec"
 	"repro/internal/codec/tagged"
+	"repro/internal/codegen"
+	"repro/internal/core"
 	"repro/internal/deploy"
 	"repro/internal/loadgen"
 	"repro/internal/logging"
@@ -524,6 +529,103 @@ func BenchmarkRollout(b *testing.B) {
 			}
 			b.ReportMetric(last.FailureRate, "failure_rate")
 			b.ReportMetric(float64(last.PeakFleet), "peak_fleet")
+		})
+	}
+}
+
+// --- A8: overload control and hedging ---
+
+// BenchmarkAdmissionControl measures the data-plane cost of server-side
+// admission control on an uncontended path: the semaphore must be nearly
+// free when the server is below capacity.
+func BenchmarkAdmissionControl(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts rpc.ServerOptions
+	}{
+		{"Unlimited", rpc.ServerOptions{}},
+		{"MaxInflight64", rpc.ServerOptions{MaxInflight: 64, MaxQueue: 64}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			srv := rpc.NewServerWithOptions(mode.opts)
+			srv.Register("bench.Adm", func(ctx context.Context, args []byte) ([]byte, error) {
+				return args, nil
+			})
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			client := rpc.NewClient(addr, rpc.ClientOptions{})
+			defer client.Close()
+			ctx := context.Background()
+			payload := codec.Marshal(benchOrder())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Call(ctx, rpc.MethodKey("bench.Adm"), payload, rpc.CallOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHedgedTailLatency shows hedging's effect on the tail when one of
+// two replicas is slow: p99 with hedging tracks the fast replica, without it
+// the slow one.
+func BenchmarkHedgedTailLatency(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"Hedged", false},
+		{"Unhedged", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			const component = "bench/Hedge"
+			mkServer := func() (*rpc.Server, string) {
+				srv := rpc.NewServer()
+				srv.Register(component+".M", func(ctx context.Context, args []byte) ([]byte, error) {
+					return nil, nil
+				})
+				addr, err := srv.Listen("127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				return srv, addr
+			}
+			slow, slowAddr := mkServer()
+			defer slow.Close()
+			fast, fastAddr := mkServer()
+			defer fast.Close()
+			slow.SetDelay(3 * time.Millisecond)
+
+			conn := core.NewDataPlaneConnWith(component, routing.NewRoundRobin(slowAddr, fastAddr),
+				core.ConnOptions{HedgeAfter: time.Millisecond, DisableHedging: mode.disable, DisableBreaker: true})
+			defer conn.Close()
+			spec := &codegen.MethodSpec{
+				Name:    "M",
+				NewArgs: func() any { return &struct{}{} },
+				NewRes:  func() any { return &struct{}{} },
+				Do:      func(context.Context, any, any, any) {},
+			}
+			ctx := context.Background()
+			lats := make([]time.Duration, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var args, res struct{}
+				t0 := time.Now()
+				if err := conn.Invoke(ctx, component, spec, &args, &res, 0, false); err != nil {
+					b.Fatal(err)
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			b.StopTimer()
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			if len(lats) > 0 {
+				b.ReportMetric(float64(lats[len(lats)*99/100].Microseconds())/1e3, "p99_ms")
+			}
 		})
 	}
 }

@@ -12,6 +12,8 @@
 //	  -version v1           rollout version label
 //	  -target N             autoscaler target calls/sec per replica
 //	  -max N                autoscaler max replicas per group
+//	  -max-inflight N       per-replica admission limit (0 = unlimited)
+//	  -max-queue N          admission wait-queue depth beyond -max-inflight
 //	  -status N             print a status report every N seconds
 //	  -graph                print the component call graph (dot) at exit
 //	  -dashboard addr       serve the web dashboard (status/graph/metrics/
@@ -161,6 +163,8 @@ func multiRun(args []string) {
 	statusEvery := fs.Int("status", 0, "print status every N seconds (0 = off)")
 	dumpGraph := fs.Bool("graph", false, "print the component call graph (dot) at exit")
 	dashAddr := fs.String("dashboard", "", `serve the deployment dashboard on this address (e.g. "127.0.0.1:8900")`)
+	maxInflight := fs.Int("max-inflight", 0, "per-replica data-plane admission limit (0 = unlimited)")
+	maxQueue := fs.Int("max-queue", 0, "per-replica admission wait-queue depth beyond -max-inflight")
 	_ = fs.Parse(args)
 	if fs.NArg() < 1 {
 		usage()
@@ -206,7 +210,19 @@ func multiRun(args []string) {
 			TargetLoadPerReplica: *target,
 			ScaleDownDelay:       30 * time.Second,
 		},
-		Logger: logger,
+		MaxInflightPerReplica: *maxInflight,
+		MaxOverloadQueue:      *maxQueue,
+		Logger:                logger,
+	}
+
+	// Admission limits reach subprocess proclets through the environment
+	// (the in-process deployer passes them through proclet.Options).
+	var limitEnv []string
+	if cfg.MaxInflightPerReplica > 0 {
+		limitEnv = append(limitEnv, fmt.Sprintf("WEAVER_MAX_INFLIGHT=%d", cfg.MaxInflightPerReplica))
+	}
+	if cfg.MaxOverloadQueue > 0 {
+		limitEnv = append(limitEnv, fmt.Sprintf("WEAVER_MAX_QUEUE=%d", cfg.MaxOverloadQueue))
 	}
 
 	starter := func(ctx context.Context, group, id string, mgr envelope.Manager) (*envelope.Envelope, error) {
@@ -216,6 +232,7 @@ func multiRun(args []string) {
 			ID:      id,
 			Group:   group,
 			Version: *version,
+			Env:     limitEnv,
 		}, mgr)
 	}
 
@@ -242,6 +259,7 @@ func multiRun(args []string) {
 		ID:      "main/0",
 		Group:   "main",
 		Version: *version,
+		Env:     limitEnv,
 	}, mgr)
 	if err != nil {
 		mgr.Stop()

@@ -32,6 +32,11 @@ const (
 	// CrashReplica abruptly terminates a random replica of a target group;
 	// the manager is expected to restart it.
 	CrashReplica Fault = iota
+	// DegradeReplica injects DegradeDelay of latency into a random
+	// replica's data plane for DegradeDuration, simulating a slow or
+	// flapping replica; client-side circuit breakers are expected to route
+	// traffic around it.
+	DegradeReplica
 )
 
 // Options configures a chaos run.
@@ -43,6 +48,15 @@ type Options struct {
 	TargetGroups []string
 	// Faults is the total number of faults to inject.
 	Faults int
+	// FaultKinds is the set of faults drawn from at each injection
+	// (default: {CrashReplica}).
+	FaultKinds []Fault
+	// DegradeDelay is the latency injected by DegradeReplica faults
+	// (default 200ms).
+	DegradeDelay time.Duration
+	// DegradeDuration is how long a DegradeReplica fault lasts before the
+	// replica is restored (default 500ms).
+	DegradeDuration time.Duration
 	// MeanBetweenFaults is the average pause between injections
 	// (default 200ms).
 	MeanBetweenFaults time.Duration
@@ -97,6 +111,15 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	if opts.SettleTime <= 0 {
 		opts.SettleTime = 2 * time.Second
 	}
+	if len(opts.FaultKinds) == 0 {
+		opts.FaultKinds = []Fault{CrashReplica}
+	}
+	if opts.DegradeDelay <= 0 {
+		opts.DegradeDelay = 200 * time.Millisecond
+	}
+	if opts.DegradeDuration <= 0 {
+		opts.DegradeDuration = 500 * time.Millisecond
+	}
 	rng := rand.New(rand.NewPCG(opts.Seed, 0xc0ffee))
 
 	targets := opts.TargetGroups
@@ -114,6 +137,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 
 	res := &Result{}
 	var reqs, errs atomic.Uint64
+	var restoreWG sync.WaitGroup // outstanding degrade-fault restorations
 
 	// Outage tracking: the start of the current error streak.
 	var outageMu sync.Mutex
@@ -183,12 +207,27 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 			continue
 		}
 		victim := replicaIDs[rng.IntN(len(replicaIDs))]
-		if opts.Deployment.KillReplica(victim) {
-			res.FaultsInjected++
+		switch opts.FaultKinds[rng.IntN(len(opts.FaultKinds))] {
+		case CrashReplica:
+			if opts.Deployment.KillReplica(victim) {
+				res.FaultsInjected++
+			}
+		case DegradeReplica:
+			if opts.Deployment.DegradeReplica(victim, opts.DegradeDelay) {
+				res.FaultsInjected++
+				restoreWG.Add(1)
+				timer := time.AfterFunc(opts.DegradeDuration, func() {
+					defer restoreWG.Done()
+					opts.Deployment.DegradeReplica(victim, 0)
+				})
+				defer timer.Stop()
+			}
 		}
 	}
 
-	// Let the manager heal, then run the invariant.
+	// Heal every outstanding degradation, let the manager heal crashes,
+	// then run the invariant.
+	restoreWG.Wait()
 	time.Sleep(opts.SettleTime)
 	stopWorkload()
 	wg.Wait()

@@ -11,6 +11,7 @@ import (
 	"repro/internal/deploy"
 	"repro/internal/logging"
 	"repro/internal/manager"
+	"repro/internal/rpc"
 	"repro/internal/testpkg"
 	"repro/weaver"
 )
@@ -147,5 +148,167 @@ func TestChaosDetectsStateLoss(t *testing.T) {
 func TestRunRejectsMissingPieces(t *testing.T) {
 	if _, err := Run(context.Background(), Options{}); err == nil {
 		t.Error("Run without deployment succeeded")
+	}
+}
+
+func TestChaosDegradeFaultKind(t *testing.T) {
+	// Degrade faults slow a replica's data plane without killing it; with 2
+	// replicas and client-side resilience the workload must keep succeeding
+	// and the deployment must be fully healthy after restoration.
+	ctx := context.Background()
+	d, err := deploy.StartInProcess(ctx, deploy.Options{
+		Config: manager.Config{
+			App: "chaos-degrade",
+			Autoscale: map[string]autoscale.Config{
+				"Echo": {MinReplicas: 2, MaxReplicas: 2},
+			},
+		},
+		Fill: fill,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+
+	echoClient, err := deploy.Get[testpkg.Echo](ctx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := echoClient.Echo(ctx, "prime"); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Run(ctx, Options{
+		Deployment:        d,
+		TargetGroups:      []string{"Echo"},
+		Faults:            3,
+		FaultKinds:        []Fault{DegradeReplica},
+		DegradeDelay:      100 * time.Millisecond,
+		DegradeDuration:   300 * time.Millisecond,
+		MeanBetweenFaults: 100 * time.Millisecond,
+		SettleTime:        time.Second,
+		Seed:              3,
+		Workload: func(ctx context.Context) error {
+			_, err := echoClient.Echo(ctx, "hello")
+			return err
+		},
+		Invariant: func(ctx context.Context) error {
+			got, err := echoClient.Echo(ctx, "final")
+			if err != nil {
+				return fmt.Errorf("echo unavailable after degradation healed: %w", err)
+			}
+			if got != "final" {
+				return fmt.Errorf("echo corrupted: %q", got)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("invariant violations: %v", res.InvariantErrors)
+	}
+	if res.FaultsInjected == 0 {
+		t.Error("no degrade faults injected")
+	}
+	// Degradation slows but does not kill: the 2s workload timeout means
+	// virtually everything should still succeed.
+	if res.Errors*10 > res.Requests {
+		t.Errorf("error rate too high under degradation: %d/%d", res.Errors, res.Requests)
+	}
+	t.Logf("degrade chaos: %d faults, %d requests, %d errors, longest outage %v",
+		res.FaultsInjected, res.Requests, res.Errors, res.LongestOutage)
+}
+
+func TestBreakerOpensOnDegradedReplicaAndRecovers(t *testing.T) {
+	// The full §5 resilience story end to end: degrade one of two Echo
+	// replicas, drive deadline-bounded traffic until the caller's breaker
+	// opens, verify traffic drains to the healthy replica, then restore and
+	// watch the half-open Ping probe bring the replica back.
+	ctx := context.Background()
+	d, err := deploy.StartInProcess(ctx, deploy.Options{
+		Config: manager.Config{
+			App: "chaos-breaker",
+			Autoscale: map[string]autoscale.Config{
+				"Echo": {MinReplicas: 2, MaxReplicas: 2},
+			},
+		},
+		Fill: fill,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+
+	echoClient, err := deploy.Get[testpkg.Echo](ctx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := echoClient.Echo(ctx, "prime"); err != nil {
+		t.Fatal(err)
+	}
+
+	var victimID, victimAddr string
+	for _, g := range d.Manager.Status() {
+		if g.Name == "Echo" && len(g.Replicas) > 0 {
+			victimID = g.Replicas[0].ID
+			victimAddr = g.Replicas[0].Addr
+		}
+	}
+	if victimID == "" {
+		t.Fatal("no Echo replica found")
+	}
+
+	mainProclet, ok := d.Proclet("main/0")
+	if !ok {
+		t.Fatal("main proclet not found")
+	}
+	conn, ok := mainProclet.Route("repro/internal/testpkg/Echo")
+	if !ok {
+		t.Fatal("main proclet has no route to Echo")
+	}
+
+	if !d.DegradeReplica(victimID, 200*time.Millisecond) {
+		t.Fatalf("DegradeReplica(%q) found no replica", victimID)
+	}
+
+	call := func(timeout time.Duration) error {
+		cctx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		_, err := echoClient.Echo(cctx, "x")
+		return err
+	}
+
+	// Deadline-bounded calls time out on the degraded replica and trip its
+	// breaker (default options: 8 samples, 50% failures).
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) && conn.BreakerState(victimAddr) != rpc.BreakerOpen {
+		_ = call(50 * time.Millisecond)
+	}
+	if got := conn.BreakerState(victimAddr); got != rpc.BreakerOpen {
+		t.Fatalf("breaker for degraded replica = %v, want open", got)
+	}
+
+	// Traffic drains: with the sick replica quarantined, calls that would
+	// have timed out on it now all succeed.
+	for i := 0; i < 10; i++ {
+		if err := call(50 * time.Millisecond); err != nil {
+			t.Fatalf("call %d failed while degraded replica quarantined: %v", i, err)
+		}
+	}
+
+	// Restore; the half-open Ping probe must close the breaker.
+	d.DegradeReplica(victimID, 0)
+	deadline = time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) && conn.BreakerState(victimAddr) != rpc.BreakerClosed {
+		_ = call(500 * time.Millisecond)
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := conn.BreakerState(victimAddr); got != rpc.BreakerClosed {
+		t.Fatalf("breaker never closed after replica restored: %v", got)
+	}
+	if err := call(2 * time.Second); err != nil {
+		t.Fatalf("call after recovery failed: %v", err)
 	}
 }

@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/codec"
 	"repro/internal/codegen"
+	"repro/internal/metrics"
 	"repro/internal/routing"
 	"repro/internal/rpc"
 	"repro/internal/tracing"
@@ -19,42 +22,131 @@ import (
 // component; the balancer chooses among the component's replicas per call,
 // and rpc.Clients are cached per replica address.
 //
-// Transport failures are retried (against a different replica when the
-// balancer offers one) up to a small fixed budget; application errors are
-// never retried here — they are decoded from the results payload by the
-// generated stub.
+// The conn owns the resilience mechanics the paper assigns to the runtime
+// (§5): transport failures are retried (against a different replica when
+// the balancer offers one) up to a small fixed budget; a per-replica
+// circuit breaker remembers recent outcomes and routes traffic around
+// replicas that keep failing, probing them with Ping until they recover;
+// requests shed by server admission control (rpc.ErrOverloaded) are
+// retried elsewhere without counting against at-most-once semantics,
+// because they never executed; and idempotent methods may be hedged — a
+// second attempt to a different replica after a p99-derived delay, first
+// response wins, loser canceled. Application errors are never retried
+// here — they are decoded from the results payload by the generated stub.
 type DataPlaneConn struct {
 	component string
 	balancer  routing.Balancer
-	opts      rpc.ClientOptions
+	pick      routing.Balancer // balancer filtered through breaker health
+	opts      ConnOptions
+	breakers  *rpc.BreakerGroup
+	lat       *latencyTracker
 
 	mu      sync.Mutex
 	clients map[string]*rpc.Client
+
+	hedges    atomic.Uint64
+	hedgeWins atomic.Uint64
+
+	// Metrics (shared across conns; per-conn counts are the atomics above).
+	mHedges    *metrics.Counter
+	mHedgeWins *metrics.Counter
+	mOverload  *metrics.Counter
 }
 
-// transportRetries is the number of attempts made for transport-level
-// failures before giving up. Retrying at-most-once semantics for
-// application logic is preserved because only delivery failures retry.
-const transportRetries = 3
+// ConnOptions configures a DataPlaneConn.
+type ConnOptions struct {
+	// Client configures the per-replica rpc clients.
+	Client rpc.ClientOptions
 
-// noReplicaGrace is how long a call waits for a component's replica set to
-// become non-empty before failing.
-const noReplicaGrace = 3 * time.Second
+	// Breaker tunes the per-replica circuit breakers.
+	Breaker rpc.BreakerOptions
+	// DisableBreaker turns off health-aware routing.
+	DisableBreaker bool
+
+	// HedgeAfter is the fixed delay before an idempotent call is hedged to
+	// a second replica. Zero selects an adaptive delay: the rolling p99 of
+	// recent successful calls (no hedging until enough samples accrue).
+	HedgeAfter time.Duration
+	// DisableHedging turns hedging off entirely.
+	DisableHedging bool
+
+	// TransportRetries is the attempt budget for transport-level failures
+	// (default 3). At-most-once methods always get exactly one executing
+	// attempt regardless.
+	TransportRetries int
+
+	// NoReplicaGrace is how long a call waits for the component's replica
+	// set to become non-empty before failing (default 3s). Tests inject a
+	// short grace so they need not wait out the production default.
+	NoReplicaGrace time.Duration
+}
+
+func (o *ConnOptions) fill() {
+	if o.TransportRetries <= 0 {
+		o.TransportRetries = 3
+	}
+	if o.NoReplicaGrace <= 0 {
+		o.NoReplicaGrace = 3 * time.Second
+	}
+}
+
+// hedgeMinDelay floors the adaptive hedge delay: when calls complete in
+// microseconds, firing a hedge that early would only double traffic.
+const hedgeMinDelay = 500 * time.Microsecond
+
+// hedgeMinSamples is how many successful calls the adaptive delay needs
+// before hedging activates.
+const hedgeMinSamples = 64
 
 // NewDataPlaneConn returns a data-plane connection for the named component,
-// picking replicas with balancer.
+// picking replicas with balancer, with default resilience options.
 func NewDataPlaneConn(component string, balancer routing.Balancer, opts rpc.ClientOptions) *DataPlaneConn {
-	return &DataPlaneConn{
-		component: component,
-		balancer:  balancer,
-		opts:      opts,
-		clients:   map[string]*rpc.Client{},
+	return NewDataPlaneConnWith(component, balancer, ConnOptions{Client: opts})
+}
+
+// NewDataPlaneConnWith returns a data-plane connection with full control
+// over retry, breaker, and hedging behavior.
+func NewDataPlaneConnWith(component string, balancer routing.Balancer, opts ConnOptions) *DataPlaneConn {
+	opts.fill()
+	c := &DataPlaneConn{
+		component:  component,
+		balancer:   balancer,
+		pick:       balancer,
+		opts:       opts,
+		lat:        newLatencyTracker(),
+		clients:    map[string]*rpc.Client{},
+		mHedges:    metrics.Default.Counter("core.dataplane.hedges"),
+		mHedgeWins: metrics.Default.Counter("core.dataplane.hedge_wins"),
+		mOverload:  metrics.Default.Counter("core.dataplane.overloaded"),
 	}
+	if !opts.DisableBreaker {
+		c.breakers = rpc.NewBreakerGroup(opts.Breaker)
+		c.breakers.SetProbe(func(ctx context.Context, addr string) error {
+			return c.clientFor(addr).Ping(ctx)
+		})
+		c.pick = routing.NewHealthAware(balancer, c.breakers.Healthy)
+	}
+	return c
 }
 
 // Balancer returns the conn's balancer, so deployers can push replica-set
 // and assignment updates into it.
 func (c *DataPlaneConn) Balancer() routing.Balancer { return c.balancer }
+
+// BreakerState returns the breaker state for a replica address (closed
+// when breakers are disabled or the address is unknown).
+func (c *DataPlaneConn) BreakerState(addr string) rpc.BreakerState {
+	if c.breakers == nil {
+		return rpc.BreakerClosed
+	}
+	return c.breakers.State(addr)
+}
+
+// HedgeStats returns how many hedges this conn launched and how many were
+// first to answer.
+func (c *DataPlaneConn) HedgeStats() (launched, won uint64) {
+	return c.hedges.Load(), c.hedgeWins.Load()
+}
 
 // Close closes all cached clients.
 func (c *DataPlaneConn) Close() {
@@ -71,10 +163,155 @@ func (c *DataPlaneConn) clientFor(addr string) *rpc.Client {
 	defer c.mu.Unlock()
 	cl := c.clients[addr]
 	if cl == nil {
-		cl = rpc.NewClient(addr, c.opts)
+		cl = rpc.NewClient(addr, c.opts.Client)
 		c.clients[addr] = cl
 	}
 	return cl
+}
+
+// pickReplica chooses a replica, waiting out NoReplicaGrace when the
+// replica set is empty — typically mid-restart after a crash (paper §3.1:
+// replicas "may fail and get restarted") — rather than failing the caller
+// immediately. The wait respects context cancellation.
+func (c *DataPlaneConn) pickReplica(ctx context.Context, shard uint64, hasShard bool) (string, error) {
+	addr, err := c.pick.Pick(shard, hasShard)
+	if !errors.Is(err, routing.ErrNoReplicas) {
+		return addr, err
+	}
+	poll := 20 * time.Millisecond
+	if c.opts.NoReplicaGrace < 5*poll {
+		poll = c.opts.NoReplicaGrace / 5
+	}
+	waitUntil := time.Now().Add(c.opts.NoReplicaGrace)
+	for err != nil && time.Now().Before(waitUntil) {
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case <-time.After(poll):
+		}
+		addr, err = c.pick.Pick(shard, hasShard)
+	}
+	return addr, err
+}
+
+// callOnce performs one attempt against one replica and feeds the outcome
+// back to the replica's breaker. Cancellation of ctx (a hedge loser, or
+// the caller giving up) is not held against the replica; a deadline that
+// expired mid-call is, because slowness is exactly what the breaker needs
+// to see.
+func (c *DataPlaneConn) callOnce(ctx context.Context, addr string, method rpc.MethodID, payload []byte, callOpts rpc.CallOptions) ([]byte, error) {
+	start := time.Now()
+	out, err := c.clientFor(addr).Call(ctx, method, payload, callOpts)
+	if err == nil {
+		c.lat.add(time.Since(start))
+		if c.breakers != nil {
+			c.breakers.Report(addr, false)
+		}
+		return out, nil
+	}
+	if errors.Is(err, rpc.ErrOverloaded) {
+		c.mOverload.Inc()
+		if c.breakers != nil {
+			c.breakers.Report(addr, true)
+		}
+		return nil, err
+	}
+	if errors.Is(err, context.Canceled) {
+		return nil, err
+	}
+	var te *rpc.TransportError
+	if errors.As(err, &te) || errors.Is(err, context.DeadlineExceeded) {
+		if c.breakers != nil {
+			c.breakers.Report(addr, true)
+		}
+	}
+	return nil, err
+}
+
+// hedgeDelay returns the delay after which an idempotent call is hedged,
+// or 0 when hedging should not fire.
+func (c *DataPlaneConn) hedgeDelay() time.Duration {
+	if c.opts.DisableHedging {
+		return 0
+	}
+	if c.opts.HedgeAfter > 0 {
+		return c.opts.HedgeAfter
+	}
+	d := c.lat.p99()
+	if d > 0 && d < hedgeMinDelay {
+		d = hedgeMinDelay
+	}
+	return d
+}
+
+// callHedged runs one attempt against primary and, if it has not answered
+// after the hedge delay, races a second attempt against a different
+// replica. The first response wins; the loser's context is canceled,
+// which propagates an explicit cancel frame to its server. Replicas the
+// hedge touches are recorded in tried.
+func (c *DataPlaneConn) callHedged(ctx context.Context, primary string, method rpc.MethodID, payload []byte, callOpts rpc.CallOptions, shard uint64, hasShard bool, tried map[string]bool) ([]byte, error) {
+	delay := c.hedgeDelay()
+	if delay <= 0 {
+		return c.callOnce(ctx, primary, method, payload, callOpts)
+	}
+
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // the loser is abandoned and its server told to stop
+
+	type attempt struct {
+		addr string
+		out  []byte
+		err  error
+	}
+	results := make(chan attempt, 2) // buffered: losers must not leak
+	launch := func(addr string) {
+		go func() {
+			out, err := c.callOnce(hctx, addr, method, payload, callOpts)
+			results <- attempt{addr: addr, out: out, err: err}
+		}()
+	}
+	launch(primary)
+	outstanding := 1
+	hedged := false
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	var firstErr error
+	for {
+		select {
+		case r := <-results:
+			outstanding--
+			if r.err == nil {
+				if hedged && r.addr != primary {
+					c.hedgeWins.Add(1)
+					c.mHedgeWins.Inc()
+				}
+				return r.out, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if outstanding == 0 {
+				return nil, firstErr
+			}
+			// The other leg is still running; let it decide the call.
+		case <-timer.C:
+			if hedged {
+				continue
+			}
+			hedged = true
+			addr, err := c.pick.Pick(shard, hasShard)
+			if err != nil || addr == primary {
+				continue // no distinct replica to hedge to
+			}
+			tried[addr] = true
+			c.hedges.Add(1)
+			c.mHedges.Inc()
+			launch(addr)
+			outstanding++
+		}
+	}
 }
 
 // Invoke implements codegen.Conn.
@@ -92,41 +329,31 @@ func (c *DataPlaneConn) Invoke(ctx context.Context, component string, m *codegen
 	}
 
 	method := rpc.MethodKey(c.component + "." + m.Name)
-	attempts := transportRetries
+	execBudget := c.opts.TransportRetries
 	if m.NoRetry {
 		// Non-idempotent method (weaver:noretry): at-most-once delivery.
-		attempts = 1
+		execBudget = 1
 	}
+	// Overload sheds never execute server-side, so they get their own
+	// budget and never count against at-most-once semantics.
+	shedBudget := c.opts.TransportRetries
+
 	var lastErr error
+	execAttempts, shedAttempts := 0, 0
 	tried := map[string]bool{}
-	for attempt := 0; attempt < attempts; attempt++ {
+	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		addr, err := c.balancer.Pick(shard, hasShard)
-		if errors.Is(err, routing.ErrNoReplicas) {
-			// Every replica is gone — typically mid-restart after a crash
-			// (paper §3.1: replicas "may fail and get restarted"). Wait
-			// briefly for the manager to publish fresh routing rather than
-			// failing the caller immediately.
-			waitUntil := time.Now().Add(noReplicaGrace)
-			for err != nil && time.Now().Before(waitUntil) {
-				select {
-				case <-ctx.Done():
-					return ctx.Err()
-				case <-time.After(20 * time.Millisecond):
-				}
-				addr, err = c.balancer.Pick(shard, hasShard)
-			}
-		}
+		addr, err := c.pickReplica(ctx, shard, hasShard)
 		if err != nil {
 			return err
 		}
 		// Prefer an untried replica on retries, but accept a repeat if the
 		// balancer has only one choice.
-		if attempt > 0 && tried[addr] {
+		if (execAttempts > 0 || shedAttempts > 0) && tried[addr] {
 			for i := 0; i < 4 && tried[addr]; i++ {
-				if a2, err2 := c.balancer.Pick(shard, hasShard); err2 == nil {
+				if a2, err2 := c.pick.Pick(shard, hasShard); err2 == nil {
 					addr = a2
 				} else {
 					break
@@ -135,17 +362,78 @@ func (c *DataPlaneConn) Invoke(ctx context.Context, component string, m *codegen
 		}
 		tried[addr] = true
 
-		out, err := c.clientFor(addr).Call(ctx, method, payload, callOpts)
+		var out []byte
+		if !m.NoRetry && execAttempts == 0 && shedAttempts == 0 {
+			out, err = c.callHedged(ctx, addr, method, payload, callOpts, shard, hasShard, tried)
+		} else {
+			out, err = c.callOnce(ctx, addr, method, payload, callOpts)
+		}
 		if err == nil {
 			return codec.Unmarshal(out, res)
+		}
+		lastErr = err
+		if errors.Is(err, rpc.ErrOverloaded) {
+			shedAttempts++
+			if shedAttempts >= shedBudget {
+				break
+			}
+			continue
 		}
 		var te *rpc.TransportError
 		if !errors.As(err, &te) {
 			return err // context cancellation or application-visible error
 		}
-		lastErr = err
+		execAttempts++
+		if execAttempts >= execBudget {
+			break
+		}
 	}
-	return fmt.Errorf("core: %s.%s failed after %d attempts: %w", ShortName(c.component), m.Name, attempts, lastErr)
+	return fmt.Errorf("core: %s.%s failed after %d attempts: %w",
+		ShortName(c.component), m.Name, execAttempts+shedAttempts, lastErr)
+}
+
+// latencyTracker keeps a small ring of recent successful call latencies
+// and derives the p99 used as the adaptive hedge delay. The quantile is
+// recomputed every few insertions and cached, keeping the hot path to a
+// mutexed append.
+type latencyTracker struct {
+	mu        sync.Mutex
+	samples   [128]time.Duration
+	n         int // total adds, capped contribution to ring
+	sinceCalc int
+	cached    time.Duration
+}
+
+func newLatencyTracker() *latencyTracker { return &latencyTracker{} }
+
+func (t *latencyTracker) add(d time.Duration) {
+	t.mu.Lock()
+	t.samples[t.n%len(t.samples)] = d
+	t.n++
+	t.sinceCalc++
+	t.mu.Unlock()
+}
+
+// p99 returns the cached 99th percentile of recent latencies, or 0 when
+// fewer than hedgeMinSamples calls have completed.
+func (t *latencyTracker) p99() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n < hedgeMinSamples {
+		return 0
+	}
+	if t.cached == 0 || t.sinceCalc >= 32 {
+		t.sinceCalc = 0
+		size := t.n
+		if size > len(t.samples) {
+			size = len(t.samples)
+		}
+		tmp := make([]time.Duration, size)
+		copy(tmp, t.samples[:size])
+		sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+		t.cached = tmp[(size*99)/100]
+	}
+	return t.cached
 }
 
 // HostComponents exposes the implementations of the runtime's hosted

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/routing"
+	"repro/internal/rpc"
+)
+
+// emptySpec returns a MethodSpec with empty args/results, the shape every
+// remote-conn test here needs.
+func emptySpec(noRetry bool) *codegen.MethodSpec {
+	return &codegen.MethodSpec{
+		Name:    "M",
+		NewArgs: func() any { return &struct{}{} },
+		NewRes:  func() any { return &struct{}{} },
+		Do:      func(context.Context, any, any, any) {},
+		NoRetry: noRetry,
+	}
+}
+
+// startCounting starts a server for component hosting method M that counts
+// invocations, with the given admission options.
+func startCounting(t *testing.T, component string, opts rpc.ServerOptions) (*rpc.Server, string, *atomic.Int64) {
+	t.Helper()
+	srv := rpc.NewServerWithOptions(opts)
+	var calls atomic.Int64
+	srv.Register(component+".M", func(ctx context.Context, args []byte) ([]byte, error) {
+		calls.Add(1)
+		return nil, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr, &calls
+}
+
+func TestOverloadShedRetriesElsewhereForNoRetry(t *testing.T) {
+	// A shed request never executed, so retrying it on another replica is
+	// safe even under at-most-once semantics — and required, or a single
+	// overloaded replica would fail calls a healthy one could serve.
+	const component = "shed_test/C"
+	srvA, addrA, callsA := startCounting(t, component, rpc.ServerOptions{MaxInflight: 1})
+	_, addrB, callsB := startCounting(t, component, rpc.ServerOptions{})
+
+	// Occupy A's only slot so it sheds everything else.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	srvA.Register(component+".Block", func(ctx context.Context, args []byte) ([]byte, error) {
+		close(started)
+		<-block
+		return nil, nil
+	})
+	defer close(block)
+	blocker := rpc.NewClient(addrA, rpc.ClientOptions{})
+	defer blocker.Close()
+	go func() {
+		_, _ = blocker.Call(context.Background(), rpc.MethodKey(component+".Block"), nil, rpc.CallOptions{})
+	}()
+	<-started
+
+	conn := NewDataPlaneConnWith(component, &scriptedBalancer{seq: []string{addrA, addrB}},
+		ConnOptions{DisableBreaker: true, DisableHedging: true})
+	defer conn.Close()
+
+	var args, res struct{}
+	if err := conn.Invoke(context.Background(), component, emptySpec(true), &args, &res, 0, false); err != nil {
+		t.Fatalf("noretry call failed despite healthy second replica: %v", err)
+	}
+	if got := callsA.Load(); got != 0 {
+		t.Errorf("overloaded replica executed %d calls; shed requests must not execute", got)
+	}
+	if got := callsB.Load(); got != 1 {
+		t.Errorf("healthy replica executed %d calls, want exactly 1 (at-most-once)", got)
+	}
+}
+
+func TestRetriesPreferUntriedReplicas(t *testing.T) {
+	const component = "untried_test/C"
+	_, live, calls := startCounting(t, component, rpc.ServerOptions{})
+	dead := "127.0.0.1:1" // nothing listens here
+
+	// The balancer proposes the dead replica twice in a row; the retry loop
+	// must re-pick past the already-tried address and reach the live one.
+	bal := &scriptedBalancer{seq: []string{dead, dead, live}}
+	conn := NewDataPlaneConnWith(component, bal,
+		ConnOptions{DisableBreaker: true, DisableHedging: true})
+	defer conn.Close()
+
+	var args, res struct{}
+	if err := conn.Invoke(context.Background(), component, emptySpec(false), &args, &res, 0, false); err != nil {
+		t.Fatalf("call failed despite a live replica: %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("live replica executed %d calls, want 1", got)
+	}
+	if picks := bal.i.Load(); picks < 3 {
+		t.Errorf("balancer consulted %d times; retry did not re-pick past the tried replica", picks)
+	}
+}
+
+func TestNoReplicaGraceInjectable(t *testing.T) {
+	conn := NewDataPlaneConnWith("grace_test/C", routing.NewRoundRobin(),
+		ConnOptions{NoReplicaGrace: 80 * time.Millisecond, DisableBreaker: true, DisableHedging: true})
+	defer conn.Close()
+
+	var args, res struct{}
+	start := time.Now()
+	err := conn.Invoke(context.Background(), "grace_test/C", emptySpec(false), &args, &res, 0, false)
+	elapsed := time.Since(start)
+	if !errors.Is(err, routing.ErrNoReplicas) {
+		t.Fatalf("err = %v, want ErrNoReplicas", err)
+	}
+	if elapsed < 60*time.Millisecond {
+		t.Errorf("failed after %v; grace period not honored", elapsed)
+	}
+	if elapsed > time.Second {
+		t.Errorf("failed after %v; injected 80ms grace not applied", elapsed)
+	}
+}
+
+func TestNoReplicaGraceRespectsCancellation(t *testing.T) {
+	conn := NewDataPlaneConnWith("grace_cancel/C", routing.NewRoundRobin(),
+		ConnOptions{NoReplicaGrace: 5 * time.Second, DisableBreaker: true, DisableHedging: true})
+	defer conn.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	var args, res struct{}
+	start := time.Now()
+	err := conn.Invoke(ctx, "grace_cancel/C", emptySpec(false), &args, &res, 0, false)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancellation took %v to unblock the grace wait", elapsed)
+	}
+}
+
+func TestBreakerRoutesAroundSlowReplica(t *testing.T) {
+	const component = "brk_test/C"
+	slowSrv, slowAddr, slowCalls := startCounting(t, component, rpc.ServerOptions{})
+	_, fastAddr, _ := startCounting(t, component, rpc.ServerOptions{})
+	slowSrv.SetDelay(150 * time.Millisecond)
+
+	conn := NewDataPlaneConnWith(component, routing.NewRoundRobin(slowAddr, fastAddr),
+		ConnOptions{
+			DisableHedging: true,
+			Breaker: rpc.BreakerOptions{
+				MinSamples: 2,
+				Threshold:  0.5,
+				Cooldown:   500 * time.Millisecond,
+			},
+		})
+	defer conn.Close()
+
+	spec := emptySpec(false)
+	invoke := func(timeout time.Duration) error {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		var args, res struct{}
+		return conn.Invoke(ctx, component, spec, &args, &res, 0, false)
+	}
+
+	// Deadline-bounded calls against the degraded replica fail and feed the
+	// breaker until it opens.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && conn.BreakerState(slowAddr) != rpc.BreakerOpen {
+		_ = invoke(50 * time.Millisecond)
+	}
+	if got := conn.BreakerState(slowAddr); got != rpc.BreakerOpen {
+		t.Fatalf("breaker for slow replica = %v, want open", got)
+	}
+
+	// With the breaker open, traffic drains to the healthy replica: every
+	// call must now succeed within the same deadline the slow replica blew.
+	for i := 0; i < 10; i++ {
+		if err := invoke(50 * time.Millisecond); err != nil {
+			t.Fatalf("call %d failed while slow replica quarantined: %v", i, err)
+		}
+	}
+
+	// Heal the replica; the background Ping probe must close the breaker.
+	slowSrv.SetDelay(0)
+	before := slowCalls.Load()
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && conn.BreakerState(slowAddr) != rpc.BreakerClosed {
+		_ = invoke(200 * time.Millisecond) // picks evaluate health, kicking off probes
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := conn.BreakerState(slowAddr); got != rpc.BreakerClosed {
+		t.Fatalf("breaker never closed after replica healed: %v", got)
+	}
+
+	// Traffic returns to the healed replica.
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && slowCalls.Load() == before {
+		if err := invoke(time.Second); err != nil {
+			t.Fatalf("call after recovery failed: %v", err)
+		}
+	}
+	if slowCalls.Load() == before {
+		t.Error("healed replica never received traffic again")
+	}
+}
+
+func TestHedgingReducesTailLatency(t *testing.T) {
+	const component = "hedge_test/C"
+	slowSrv, slowAddr, _ := startCounting(t, component, rpc.ServerOptions{})
+	_, fastAddr, _ := startCounting(t, component, rpc.ServerOptions{})
+	slowSrv.SetDelay(200 * time.Millisecond)
+
+	conn := NewDataPlaneConnWith(component, routing.NewRoundRobin(slowAddr, fastAddr),
+		ConnOptions{HedgeAfter: 10 * time.Millisecond, DisableBreaker: true})
+	defer conn.Close()
+
+	spec := emptySpec(false)
+	var worst time.Duration
+	for i := 0; i < 16; i++ {
+		var args, res struct{}
+		start := time.Now()
+		if err := conn.Invoke(context.Background(), component, spec, &args, &res, 0, false); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if d := time.Since(start); d > worst {
+			worst = d
+		}
+	}
+	// Half the primaries land on the 200ms replica; the 10ms hedge to the
+	// fast one must cap the tail far below the degraded latency.
+	if worst >= 150*time.Millisecond {
+		t.Errorf("worst latency %v; hedging did not cut the tail below the 200ms replica", worst)
+	}
+	launched, won := conn.HedgeStats()
+	if launched == 0 {
+		t.Error("no hedges launched despite a slow primary")
+	}
+	if won == 0 {
+		t.Error("no hedge ever won despite a 200ms-slower primary")
+	}
+	t.Logf("hedging: worst=%v launched=%d won=%d", worst, launched, won)
+}
+
+func TestHedgingDisabledForNoRetry(t *testing.T) {
+	// At-most-once methods must never hedge: two concurrent attempts could
+	// both execute.
+	const component = "hedge_noretry/C"
+	slowSrv, slowAddr, slowCalls := startCounting(t, component, rpc.ServerOptions{})
+	_, fastAddr, fastCalls := startCounting(t, component, rpc.ServerOptions{})
+	slowSrv.SetDelay(60 * time.Millisecond)
+
+	conn := NewDataPlaneConnWith(component, routing.NewRoundRobin(slowAddr, fastAddr),
+		ConnOptions{HedgeAfter: 5 * time.Millisecond, DisableBreaker: true})
+	defer conn.Close()
+
+	spec := emptySpec(true)
+	for i := 0; i < 8; i++ {
+		var args, res struct{}
+		if err := conn.Invoke(context.Background(), component, spec, &args, &res, 0, false); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if launched, _ := conn.HedgeStats(); launched != 0 {
+		t.Errorf("noretry method launched %d hedges", launched)
+	}
+	if total := slowCalls.Load() + fastCalls.Load(); total != 8 {
+		t.Errorf("8 noretry calls executed %d times", total)
+	}
+}

@@ -93,6 +93,8 @@ func StartInProcess(ctx context.Context, opts Options) (*InProcess, error) {
 			Fill:           opts.Fill,
 			ReportInterval: opts.ReportInterval,
 			TraceFraction:  opts.TraceFraction,
+			MaxInflight:    opts.Config.MaxInflightPerReplica,
+			MaxQueue:       opts.Config.MaxOverloadQueue,
 			Logger:         logging.New(logging.Options{Component: "proclet", Replica: id, Min: logging.LevelWarn}),
 		})
 		if err != nil {
@@ -149,6 +151,20 @@ func (d *InProcess) Proclet(id string) (*proclet.Proclet, bool) {
 	defer d.mu.Unlock()
 	p, ok := d.proclets[id]
 	return p, ok
+}
+
+// DegradeReplica injects delay into a replica's data plane (0 restores
+// it), simulating a slow or flapping replica for chaos tests. It returns
+// false if the replica does not exist.
+func (d *InProcess) DegradeReplica(id string, delay time.Duration) bool {
+	d.mu.Lock()
+	p, ok := d.proclets[id]
+	d.mu.Unlock()
+	if !ok {
+		return false
+	}
+	p.InjectDataPlaneDelay(delay)
+	return true
 }
 
 // KillReplica abruptly terminates a replica's proclet (no graceful

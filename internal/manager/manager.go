@@ -72,6 +72,15 @@ type Config struct {
 	// (default 8).
 	MaxRestarts int
 
+	// MaxInflightPerReplica bounds concurrently executing data-plane
+	// requests in each replica; MaxOverloadQueue bounds the admission wait
+	// queue beyond that. Requests past both bounds are shed with a fast
+	// overloaded status instead of queueing unboundedly (paper §5: the
+	// runtime owns graceful handling of overload). Zero means unlimited.
+	// Deployers read these when starting replicas.
+	MaxInflightPerReplica int
+	MaxOverloadQueue      int
+
 	Logger *logging.Logger
 }
 

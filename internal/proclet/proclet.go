@@ -44,6 +44,11 @@ type Options struct {
 	// ListenAddr is the address the data-plane server binds
 	// (default "127.0.0.1:0").
 	ListenAddr string
+	// MaxInflight bounds concurrently executing data-plane requests in
+	// this replica; MaxQueue bounds the admission wait queue beyond that.
+	// Zero means unlimited (see rpc.ServerOptions).
+	MaxInflight int
+	MaxQueue    int
 	// ReportInterval is how often load reports and telemetry batches are
 	// shipped (default 500ms).
 	ReportInterval time.Duration
@@ -122,7 +127,10 @@ func Start(ctx context.Context, opts Options) (*Proclet, error) {
 		shutdownCh: make(chan struct{}),
 	}
 
-	p.srv = rpc.NewServer()
+	p.srv = rpc.NewServerWithOptions(rpc.ServerOptions{
+		MaxInflight: opts.MaxInflight,
+		MaxQueue:    opts.MaxQueue,
+	})
 	addr, err := p.srv.Listen(opts.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("proclet: data plane listen: %w", err)
@@ -195,6 +203,24 @@ func (p *Proclet) Runtime() *core.Runtime { return p.runtime }
 
 // Metrics returns the proclet's metrics registry.
 func (p *Proclet) Metrics() *metrics.Registry { return p.metrics }
+
+// InjectDataPlaneDelay makes the data-plane server add d of latency to
+// every dispatched request (0 clears it). The chaos harness uses it to
+// simulate a slow or flapping replica.
+func (p *Proclet) InjectDataPlaneDelay(d time.Duration) { p.srv.SetDelay(d) }
+
+// Route returns the data-plane connection this proclet uses to call the
+// named remote component, if one has been built. Tests use it to observe
+// breaker and hedging state.
+func (p *Proclet) Route(component string) (*core.DataPlaneConn, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rs, ok := p.routes[component]
+	if !ok {
+		return nil, false
+	}
+	return rs.conn, true
+}
 
 // Wait blocks until the proclet shuts down and returns the terminating
 // error, if any.
@@ -408,6 +434,11 @@ func (p *Proclet) reportLoop(ctx context.Context) {
 
 func (p *Proclet) reportOnce() {
 	snap := p.metrics.Snapshot()
+	// Include the process-global registry so transport-level metrics
+	// (rpc.server.shed, rpc.breaker.*, rpc.client.*) reach the manager's
+	// merged view and the dashboard; the two registries' name spaces are
+	// disjoint (component.* vs rpc.*).
+	snap = append(snap, metrics.Default.Snapshot()...)
 
 	// Load = delta of calls served by this replica per second.
 	var totalCalls float64

@@ -193,6 +193,51 @@ func (a *Affinity) Update(replicas []string, assignment *Assignment) {
 	}
 }
 
+// HealthAware wraps a Balancer and skips replicas an external health
+// signal (typically a circuit breaker) reports sick. Selection stays
+// delegated: HealthAware re-picks from the inner balancer a bounded number
+// of times looking for a healthy replica. If every candidate is sick it
+// fails open and returns the last pick anyway — a wrong health signal must
+// degrade to the old behavior, never to a self-inflicted total outage.
+type HealthAware struct {
+	inner   Balancer
+	healthy func(addr string) bool
+}
+
+// NewHealthAware wraps inner so Pick prefers replicas for which healthy
+// returns true. A nil healthy func disables filtering.
+func NewHealthAware(inner Balancer, healthy func(addr string) bool) *HealthAware {
+	return &HealthAware{inner: inner, healthy: healthy}
+}
+
+// healthAwareRepicks bounds how many alternates Pick asks the inner
+// balancer for before failing open.
+const healthAwareRepicks = 8
+
+// Pick implements Balancer.
+func (h *HealthAware) Pick(shard uint64, hasShard bool) (string, error) {
+	addr, err := h.inner.Pick(shard, hasShard)
+	if err != nil || h.healthy == nil || h.healthy(addr) {
+		return addr, err
+	}
+	for i := 0; i < healthAwareRepicks; i++ {
+		next, err := h.inner.Pick(shard, hasShard)
+		if err != nil {
+			break
+		}
+		if h.healthy(next) {
+			return next, nil
+		}
+		addr = next
+	}
+	return addr, nil
+}
+
+// Update implements Balancer by delegating to the inner balancer.
+func (h *HealthAware) Update(replicas []string, assignment *Assignment) {
+	h.inner.Update(replicas, assignment)
+}
+
 // LeastLoaded tracks in-flight calls per replica and picks the replica with
 // the fewest, breaking ties pseudo-randomly by rotation. Callers must
 // bracket calls with Start/Done.

@@ -1,0 +1,209 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// startLimited starts a server with the given admission limits, a blocking
+// "adm.Block" handler, and a trivial "adm.Fast" handler. The returned
+// release func unblocks every blocked handler (idempotent via close).
+func startLimited(t *testing.T, opts ServerOptions) (s *Server, addr string, started chan struct{}, release func()) {
+	t.Helper()
+	s = NewServerWithOptions(opts)
+	block := make(chan struct{})
+	started = make(chan struct{}, 64)
+	s.Register("adm.Block", func(ctx context.Context, args []byte) ([]byte, error) {
+		started <- struct{}{}
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	})
+	s.Register("adm.Fast", func(ctx context.Context, args []byte) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var released bool
+	release = func() {
+		if !released {
+			released = true
+			close(block)
+		}
+	}
+	t.Cleanup(func() {
+		release()
+		s.Close()
+	})
+	return s, addr, started, release
+}
+
+func TestAdmissionShedsAtCapacity(t *testing.T) {
+	_, addr, started, release := startLimited(t, ServerOptions{MaxInflight: 1})
+	c := NewClient(addr, ClientOptions{})
+	defer c.Close()
+
+	shedBefore := metrics.Default.Counter("rpc.server.shed").Value()
+
+	blockDone := make(chan error, 1)
+	go func() {
+		_, err := c.Call(context.Background(), MethodKey("adm.Block"), nil, CallOptions{})
+		blockDone <- err
+	}()
+	<-started // the single slot is now occupied
+
+	_, err := c.Call(context.Background(), MethodKey("adm.Fast"), nil, CallOptions{})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("call at capacity: err = %v, want ErrOverloaded", err)
+	}
+	if got := metrics.Default.Counter("rpc.server.shed").Value(); got <= shedBefore {
+		t.Errorf("shed counter did not advance: %d -> %d", shedBefore, got)
+	}
+
+	release()
+	if err := <-blockDone; err != nil {
+		t.Fatalf("blocked call failed: %v", err)
+	}
+	// With the slot free again, calls must flow.
+	if _, err := c.Call(context.Background(), MethodKey("adm.Fast"), nil, CallOptions{}); err != nil {
+		t.Fatalf("call after release: %v", err)
+	}
+}
+
+func TestAdmissionQueueAdmitsWhenSlotFrees(t *testing.T) {
+	_, addr, started, release := startLimited(t, ServerOptions{MaxInflight: 1, MaxQueue: 2})
+	c := NewClient(addr, ClientOptions{})
+	defer c.Close()
+
+	blockDone := make(chan error, 1)
+	go func() {
+		_, err := c.Call(context.Background(), MethodKey("adm.Block"), nil, CallOptions{})
+		blockDone <- err
+	}()
+	<-started
+
+	// This call queues behind the blocked one rather than being shed.
+	fastDone := make(chan error, 1)
+	go func() {
+		_, err := c.Call(context.Background(), MethodKey("adm.Fast"), nil, CallOptions{})
+		fastDone <- err
+	}()
+	select {
+	case err := <-fastDone:
+		t.Fatalf("queued call returned early: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	release()
+	select {
+	case err := <-fastDone:
+		if err != nil {
+			t.Fatalf("queued call failed after slot freed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued call never ran after slot freed")
+	}
+	if err := <-blockDone; err != nil {
+		t.Fatalf("blocked call failed: %v", err)
+	}
+}
+
+func TestAdmissionQueueOverflowSheds(t *testing.T) {
+	s, addr, started, release := startLimited(t, ServerOptions{MaxInflight: 1, MaxQueue: 1})
+	defer release()
+	c := NewClient(addr, ClientOptions{})
+	defer c.Close()
+
+	go func() {
+		_, _ = c.Call(context.Background(), MethodKey("adm.Block"), nil, CallOptions{})
+	}()
+	<-started
+
+	// Fill the one queue slot with a second blocked call.
+	queued := make(chan error, 1)
+	go func() {
+		_, err := c.Call(context.Background(), MethodKey("adm.Block"), nil, CallOptions{})
+		queued <- err
+	}()
+	// Wait until the server has actually queued it.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && s.queued.Load() == 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s.queued.Load() == 0 {
+		t.Fatal("second call never entered the admission queue")
+	}
+
+	// The queue is full: the next request must be shed immediately.
+	start := time.Now()
+	_, err := c.Call(context.Background(), MethodKey("adm.Fast"), nil, CallOptions{})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("call with full queue: err = %v, want ErrOverloaded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("shed took %v; should be immediate", elapsed)
+	}
+
+	release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued call failed: %v", err)
+	}
+}
+
+func TestAdmissionShedsExpiredDeadlineWhileQueued(t *testing.T) {
+	_, addr, started, release := startLimited(t, ServerOptions{MaxInflight: 1, MaxQueue: 4})
+	defer release()
+	c := NewClient(addr, ClientOptions{})
+	defer c.Close()
+
+	go func() {
+		_, _ = c.Call(context.Background(), MethodKey("adm.Block"), nil, CallOptions{})
+	}()
+	<-started
+
+	// Speak raw frames so the client-side deadline cannot mask the server's
+	// decision: the request queues, its deadline expires before a slot
+	// frees, and the server must answer statusOverloaded rather than hold
+	// the request or execute it late.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	hdr := header{
+		id:       1,
+		method:   MethodKey("adm.Fast"),
+		deadline: time.Now().Add(60 * time.Millisecond).UnixNano(),
+	}
+	var buf [1 + headerSize]byte
+	buf[0] = frameRequest
+	hdr.encode(buf[1:])
+	if err := writeFrame(conn, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	frame, err := readFrame(conn)
+	if err != nil {
+		t.Fatalf("no response for queued-then-expired request: %v", err)
+	}
+	if frame[0] != frameResponse {
+		t.Fatalf("frame type = %d, want response", frame[0])
+	}
+	if id := getUint64(frame[1:9]); id != 1 {
+		t.Fatalf("response id = %d, want 1", id)
+	}
+	if status := frame[9]; status != statusOverloaded {
+		t.Fatalf("status = %d, want statusOverloaded (%d)", status, statusOverloaded)
+	}
+}

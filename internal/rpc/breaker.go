@@ -1,0 +1,336 @@
+package rpc
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// This file implements the client side of overload protection: a
+// per-replica circuit breaker. The paper (§5) argues the runtime should
+// own graceful handling of sick replicas; a breaker gives the data plane a
+// memory of recent outcomes, so callers stop sending work to a replica
+// that keeps failing or shedding and instead probe it cheaply (Ping) until
+// it recovers.
+
+// BreakerState is a circuit breaker's current disposition.
+type BreakerState int
+
+// Breaker states.
+const (
+	// BreakerClosed: the replica looks healthy; requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the replica exceeded the failure threshold; requests
+	// are routed elsewhere until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed and a single probe is deciding
+	// whether to close (probe succeeds) or re-open (probe fails).
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerOptions tunes the breaker state machine.
+type BreakerOptions struct {
+	// Window is the rolling window over which failures are counted
+	// (default 5s). Outcomes older than the window are forgotten.
+	Window time.Duration
+	// Buckets is the window's subdivision granularity (default 5).
+	Buckets int
+	// Threshold is the failure fraction within the window that trips the
+	// breaker open (default 0.5).
+	Threshold float64
+	// MinSamples is the minimum number of outcomes in the window before
+	// the threshold applies (default 8), so one early failure cannot trip
+	// a cold breaker.
+	MinSamples int
+	// Cooldown is how long the breaker stays open before a half-open
+	// probe is attempted (default 1s).
+	Cooldown time.Duration
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (o *BreakerOptions) fill() {
+	if o.Window <= 0 {
+		o.Window = 5 * time.Second
+	}
+	if o.Buckets <= 0 {
+		o.Buckets = 5
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = 0.5
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 8
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = time.Second
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+}
+
+// breakerBucket accumulates outcomes for one time slice of the window.
+type breakerBucket struct {
+	start    time.Time
+	ok, fail int
+}
+
+// A Breaker tracks one replica's recent call outcomes in a rolling window
+// and trips open when the failure fraction exceeds the threshold.
+type Breaker struct {
+	opts BreakerOptions
+
+	mu       sync.Mutex
+	state    BreakerState
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	buckets  []breakerBucket
+	cur      int
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(opts BreakerOptions) *Breaker {
+	opts.fill()
+	return &Breaker{opts: opts, buckets: make([]breakerBucket, opts.Buckets)}
+}
+
+// State returns the current state without advancing it.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// rotateLocked advances the bucket ring so that the current bucket covers
+// now, zeroing buckets that fell out of the window.
+func (b *Breaker) rotateLocked(now time.Time) {
+	span := b.opts.Window / time.Duration(len(b.buckets))
+	cur := &b.buckets[b.cur]
+	if cur.start.IsZero() {
+		cur.start = now
+		return
+	}
+	for now.Sub(b.buckets[b.cur].start) >= span {
+		next := (b.cur + 1) % len(b.buckets)
+		b.buckets[next] = breakerBucket{start: b.buckets[b.cur].start.Add(span)}
+		b.cur = next
+		if b.buckets[b.cur].start.Add(b.opts.Window).Before(now) {
+			// Far behind (idle period): restart the window at now.
+			b.buckets[b.cur].start = now
+		}
+	}
+}
+
+// tallyLocked returns in-window totals.
+func (b *Breaker) tallyLocked(now time.Time) (ok, fail int) {
+	for _, bk := range b.buckets {
+		if !bk.start.IsZero() && now.Sub(bk.start) < b.opts.Window {
+			ok += bk.ok
+			fail += bk.fail
+		}
+	}
+	return ok, fail
+}
+
+// Report records one call outcome and updates the state machine.
+func (b *Breaker) Report(failure bool) {
+	now := b.opts.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	switch b.state {
+	case BreakerHalfOpen:
+		// The probe's verdict decides the state outright.
+		b.probing = false
+		if failure {
+			b.state = BreakerOpen
+			b.openedAt = now
+		} else {
+			b.state = BreakerClosed
+			b.buckets = make([]breakerBucket, len(b.buckets))
+			b.cur = 0
+		}
+		return
+	case BreakerOpen:
+		// Stragglers from before the trip; the window already decided.
+		return
+	}
+
+	b.rotateLocked(now)
+	if failure {
+		b.buckets[b.cur].fail++
+	} else {
+		b.buckets[b.cur].ok++
+	}
+	ok, fail := b.tallyLocked(now)
+	if total := ok + fail; total >= b.opts.MinSamples &&
+		float64(fail) >= b.opts.Threshold*float64(total) {
+		b.state = BreakerOpen
+		b.openedAt = now
+	}
+}
+
+// Allow reports whether a call (or probe) may be sent to the replica. In
+// the open state it returns false until the cooldown elapses, then
+// transitions to half-open and admits exactly one trial; further calls are
+// rejected until that trial reports.
+func (b *Breaker) Allow() bool {
+	now := b.opts.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.opts.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// A BreakerGroup maintains one Breaker per replica address. When a breaker
+// opens and its cooldown elapses, the group launches a half-open liveness
+// probe (the data plane's existing Ping) in the background; the replica
+// stays quarantined until a probe succeeds.
+type BreakerGroup struct {
+	opts  BreakerOptions
+	probe func(ctx context.Context, addr string) error
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+
+	opened *metrics.Counter
+	closed *metrics.Counter
+	probes *metrics.Counter
+}
+
+// NewBreakerGroup returns an empty group. Breakers are created lazily on
+// first Report for an address.
+func NewBreakerGroup(opts BreakerOptions) *BreakerGroup {
+	opts.fill()
+	return &BreakerGroup{
+		opts:   opts,
+		m:      map[string]*Breaker{},
+		opened: metrics.Default.Counter("rpc.breaker.opened"),
+		closed: metrics.Default.Counter("rpc.breaker.closed"),
+		probes: metrics.Default.Counter("rpc.breaker.probes"),
+	}
+}
+
+// SetProbe installs the half-open liveness probe (typically a closure over
+// Client.Ping). Without a probe, recovery uses a real request as the
+// half-open trial instead.
+func (g *BreakerGroup) SetProbe(probe func(ctx context.Context, addr string) error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.probe = probe
+}
+
+// get returns the breaker for addr, or nil if none exists yet.
+func (g *BreakerGroup) get(addr string) *Breaker {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.m[addr]
+}
+
+// State returns the breaker state for addr (closed if never reported).
+func (g *BreakerGroup) State(addr string) BreakerState {
+	if b := g.get(addr); b != nil {
+		return b.State()
+	}
+	return BreakerClosed
+}
+
+// Report records one call outcome against addr's breaker and counts trips
+// and recoveries.
+func (g *BreakerGroup) Report(addr string, failure bool) {
+	g.mu.Lock()
+	b := g.m[addr]
+	if b == nil {
+		b = NewBreaker(g.opts)
+		g.m[addr] = b
+	}
+	g.mu.Unlock()
+
+	before := b.State()
+	b.Report(failure)
+	after := b.State()
+	if before != BreakerOpen && after == BreakerOpen {
+		g.opened.Inc()
+	}
+	if before != BreakerClosed && after == BreakerClosed {
+		g.closed.Inc()
+	}
+}
+
+// Healthy reports whether routing should consider addr. A closed (or
+// unknown) breaker is healthy. An open breaker is not; once its cooldown
+// elapses, Healthy kicks off a background probe (if configured) or admits
+// one real request as the half-open trial.
+func (g *BreakerGroup) Healthy(addr string) bool {
+	b := g.get(addr)
+	if b == nil {
+		return true
+	}
+	if b.State() == BreakerClosed {
+		return true
+	}
+
+	g.mu.Lock()
+	probe := g.probe
+	g.mu.Unlock()
+	if probe == nil {
+		// No probe configured: let one real request through as the trial.
+		return b.Allow()
+	}
+	if b.Allow() {
+		// Won the half-open slot: probe liveness off the request path.
+		g.probes.Inc()
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), g.opts.Cooldown)
+			defer cancel()
+			err := probe(ctx, addr)
+			g.Report(addr, err != nil)
+		}()
+	}
+	return false
+}
+
+// Forget drops breakers for addresses not in live, so replicas removed
+// from the routing table do not leak state.
+func (g *BreakerGroup) Forget(live map[string]bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for addr := range g.m {
+		if !live[addr] {
+			delete(g.m, addr)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable clock for breaker state-machine tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	// Start well away from the zero time: the bucket ring uses IsZero to
+	// detect uninitialized buckets.
+	return &fakeClock{t: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreakerOptions(clock *fakeClock) BreakerOptions {
+	return BreakerOptions{
+		Window:     10 * time.Second,
+		Buckets:    5,
+		Threshold:  0.5,
+		MinSamples: 8,
+		Cooldown:   time.Second,
+		now:        clock.now,
+	}
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(testBreakerOptions(clock))
+
+	for i := 0; i < 4; i++ {
+		b.Report(false)
+	}
+	for i := 0; i < 3; i++ {
+		b.Report(true)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after 4 ok / 3 fail = %v, want closed", got)
+	}
+	b.Report(true) // 8 samples, 4 failures: exactly at the 0.5 threshold
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after 4 ok / 4 fail = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before the cooldown")
+	}
+
+	clock.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker did not admit the half-open trial after cooldown")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after cooldown trial = %v, want half-open", got)
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+
+	// Trial succeeds: closed, with a fresh window.
+	b.Report(false)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successful trial = %v, want closed", got)
+	}
+	for i := 0; i < 3; i++ {
+		b.Report(true)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("window not reset after recovery: 3 failures tripped to %v", got)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(testBreakerOptions(clock))
+	for i := 0; i < 8; i++ {
+		b.Report(true)
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+
+	clock.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open trial not admitted")
+	}
+	b.Report(true)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed trial = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted a call before a second cooldown")
+	}
+	clock.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second cooldown did not admit a new trial")
+	}
+}
+
+func TestBreakerMinSamplesGate(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(testBreakerOptions(clock))
+	for i := 0; i < 7; i++ {
+		b.Report(true)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state with 7 samples (MinSamples 8) = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected a call")
+	}
+}
+
+func TestBreakerWindowForgetsOldOutcomes(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(testBreakerOptions(clock))
+	for i := 0; i < 7; i++ {
+		b.Report(true)
+	}
+	// A long idle period expires the whole window; the next failure stands
+	// alone and must not combine with the forgotten ones to trip.
+	clock.advance(11 * time.Second)
+	b.Report(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after idle window expiry = %v, want closed", got)
+	}
+}
+
+func TestBreakerStragglersIgnoredWhileOpen(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(testBreakerOptions(clock))
+	for i := 0; i < 8; i++ {
+		b.Report(true)
+	}
+	// In-flight calls from before the trip finish after it; their outcomes
+	// must not perturb the open state (only the half-open trial decides).
+	b.Report(false)
+	b.Report(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("straggler successes changed open state to %v", got)
+	}
+}
+
+func TestBreakerGroupProbeRecovery(t *testing.T) {
+	g := NewBreakerGroup(BreakerOptions{
+		MinSamples: 2,
+		Cooldown:   30 * time.Millisecond,
+	})
+	var probeFail atomic.Bool
+	probeFail.Store(true)
+	var probeCalls atomic.Int64
+	g.SetProbe(func(ctx context.Context, addr string) error {
+		probeCalls.Add(1)
+		if probeFail.Load() {
+			return errors.New("still sick")
+		}
+		return nil
+	})
+
+	if !g.Healthy("a") {
+		t.Fatal("unknown address reported unhealthy")
+	}
+	g.Report("a", true)
+	g.Report("a", true)
+	if got := g.State("a"); got != BreakerOpen {
+		t.Fatalf("state after 2/2 failures = %v, want open", got)
+	}
+	if g.Healthy("a") {
+		t.Fatal("open breaker reported healthy")
+	}
+	if !g.Healthy("b") {
+		t.Fatal("unrelated address reported unhealthy")
+	}
+
+	// While the probe keeps failing the replica must stay quarantined.
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if g.Healthy("a") {
+			t.Fatal("replica reported healthy while probe fails")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if probeCalls.Load() == 0 {
+		t.Fatal("no probe launched after cooldown")
+	}
+
+	// Probe starts succeeding: the breaker must close.
+	probeFail.Store(false)
+	deadline = time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && g.State("a") != BreakerClosed {
+		g.Healthy("a") // each evaluation may kick off a probe
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := g.State("a"); got != BreakerClosed {
+		t.Fatalf("breaker never closed after probe recovery: %v", got)
+	}
+	if !g.Healthy("a") {
+		t.Fatal("closed breaker reported unhealthy")
+	}
+}
+
+func TestBreakerGroupNoProbeAdmitsSingleTrial(t *testing.T) {
+	g := NewBreakerGroup(BreakerOptions{
+		MinSamples: 2,
+		Cooldown:   20 * time.Millisecond,
+	})
+	g.Report("a", true)
+	g.Report("a", true)
+	if g.Healthy("a") {
+		t.Fatal("open breaker reported healthy")
+	}
+	time.Sleep(40 * time.Millisecond)
+	// With no probe configured, exactly one real request is the trial.
+	if !g.Healthy("a") {
+		t.Fatal("half-open trial not admitted after cooldown")
+	}
+	if g.Healthy("a") {
+		t.Fatal("second trial admitted while the first is outstanding")
+	}
+	g.Report("a", false)
+	if got := g.State("a"); got != BreakerClosed {
+		t.Fatalf("state after successful trial = %v, want closed", got)
+	}
+}
+
+func TestBreakerGroupForget(t *testing.T) {
+	g := NewBreakerGroup(BreakerOptions{MinSamples: 1})
+	g.Report("gone", true)
+	if got := g.State("gone"); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	g.Forget(map[string]bool{"kept": true})
+	if got := g.State("gone"); got != BreakerClosed {
+		t.Fatalf("forgotten address still has breaker state %v", got)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+		BreakerState(9): "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("BreakerState(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -19,6 +20,12 @@ type CallOptions struct {
 	// Trace is the span context propagated to the callee.
 	Trace tracing.SpanContext
 }
+
+// ErrOverloaded is returned (wrapped in a *TransportError) when the server
+// shed the request under admission control. The request was never executed,
+// so retrying it on a different replica is safe even for methods with
+// at-most-once (weaver:noretry) semantics.
+var ErrOverloaded = errors.New("rpc: server overloaded")
 
 // A TransportError describes a failure of the RPC machinery itself (broken
 // connection, unknown method, handler panic), as opposed to an application
@@ -70,6 +77,8 @@ type ClientOptions struct {
 	Compress bool
 	// CompressThreshold overrides DefaultCompressThreshold.
 	CompressThreshold int
+	// PingTimeout bounds how long Ping waits for a pong (default 5s).
+	PingTimeout time.Duration
 }
 
 // NewClient returns a client for the server at addr. Connections are
@@ -86,6 +95,9 @@ func NewClient(addr string, opts ClientOptions) *Client {
 	}
 	if opts.CompressThreshold <= 0 {
 		opts.CompressThreshold = DefaultCompressThreshold
+	}
+	if opts.PingTimeout <= 0 {
+		opts.PingTimeout = 5 * time.Second
 	}
 	return &Client{
 		addr:     addr,
@@ -362,6 +374,9 @@ func (cc *clientConn) roundTrip(ctx context.Context, method MethodID, args []byt
 		if resp.status == statusError {
 			return nil, fmt.Errorf("%s", resp.data)
 		}
+		if resp.status == statusOverloaded {
+			return nil, ErrOverloaded
+		}
 		if resp.status == statusOKCompressed {
 			return decompress(resp.data)
 		}
@@ -398,7 +413,7 @@ func (cc *clientConn) ping(ctx context.Context) error {
 		return err
 	}
 
-	timer := time.NewTimer(5 * time.Second)
+	timer := time.NewTimer(cc.client.opts.PingTimeout)
 	defer timer.Stop()
 	select {
 	case <-ch:

@@ -1,0 +1,212 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// rawRequest writes a request frame for method with the given id and args
+// over a raw connection.
+func rawRequest(t *testing.T, conn net.Conn, id uint64, method MethodID, flags uint8, args []byte) {
+	t.Helper()
+	hdr := header{id: id, method: method, flags: flags}
+	var buf [1 + headerSize]byte
+	buf[0] = frameRequest
+	hdr.encode(buf[1:])
+	if err := writeFrame(conn, buf[:], args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rawReadResponse reads frames until a response arrives and returns its id,
+// status, and payload.
+func rawReadResponse(t *testing.T, conn net.Conn) (id uint64, status byte, data []byte) {
+	t.Helper()
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			t.Fatalf("reading response: %v", err)
+		}
+		if len(frame) >= 10 && frame[0] == frameResponse {
+			return getUint64(frame[1:9]), frame[9], frame[10:]
+		}
+	}
+}
+
+func TestCancelAfterResponseIgnored(t *testing.T) {
+	_, _, addr := startEcho(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	rawRequest(t, conn, 7, MethodKey("test.Echo"), 0, []byte("first"))
+	id, status, data := rawReadResponse(t, conn)
+	if id != 7 || status != statusOK || string(data) != "first" {
+		t.Fatalf("first response = id %d status %d %q", id, status, data)
+	}
+
+	// Cancel a request that has already completed; the server must treat it
+	// as a no-op, not corrupt connection state.
+	var cbuf [9]byte
+	cbuf[0] = frameCancel
+	putUint64(cbuf[1:], 7)
+	if err := writeFrame(conn, cbuf[:]); err != nil {
+		t.Fatal(err)
+	}
+	// A cancel for an id never seen must also be harmless.
+	putUint64(cbuf[1:], 9999)
+	if err := writeFrame(conn, cbuf[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	rawRequest(t, conn, 8, MethodKey("test.Echo"), 0, []byte("second"))
+	id, status, data = rawReadResponse(t, conn)
+	if id != 8 || status != statusOK || string(data) != "second" {
+		t.Fatalf("post-cancel response = id %d status %d %q", id, status, data)
+	}
+}
+
+func TestConcurrentCancelResponseRace(t *testing.T) {
+	// Race client-side cancellation against server responses across many
+	// goroutines and timings; under -race this exercises the server's
+	// inflight map and the client's pending map for unsynchronized access.
+	s := NewServer()
+	s.Register("race.Echo", func(ctx context.Context, args []byte) ([]byte, error) {
+		return args, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := NewClient(addr, ClientOptions{NumConns: 2})
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				go func(after time.Duration) {
+					time.Sleep(after)
+					cancel()
+				}(time.Duration((i%7)*20) * time.Microsecond)
+				_, _ = c.Call(ctx, MethodKey("race.Echo"), []byte("x"), CallOptions{})
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The connection must still be fully functional.
+	got, err := c.Call(context.Background(), MethodKey("race.Echo"), []byte("alive"), CallOptions{})
+	if err != nil || string(got) != "alive" {
+		t.Fatalf("call after cancel storm = %q, %v", got, err)
+	}
+}
+
+// fakeRawServer accepts connections and lets a per-request handler decide
+// the raw bytes (or silence) to send back.
+func fakeRawServer(t *testing.T, respond func(conn net.Conn, reqFrame []byte)) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					frame, err := readFrame(conn)
+					if err != nil {
+						return
+					}
+					respond(conn, frame)
+				}
+			}(conn)
+		}
+	}()
+	return lis.Addr().String()
+}
+
+func TestCorruptCompressedResponse(t *testing.T) {
+	// A server that answers every request with statusOKCompressed garbage:
+	// the client must surface a decode error, not hang or panic.
+	addr := fakeRawServer(t, func(conn net.Conn, reqFrame []byte) {
+		if len(reqFrame) < 1+headerSize || reqFrame[0] != frameRequest {
+			return
+		}
+		id := reqFrame[1:9]
+		garbage := []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}
+		_ = writeFrame(conn, []byte{frameResponse}, id, []byte{statusOKCompressed}, garbage)
+	})
+
+	c := NewClient(addr, ClientOptions{})
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := c.Call(ctx, MethodKey("test.Echo"), []byte("hi"), CallOptions{})
+	if err == nil {
+		t.Fatal("corrupt compressed response decoded successfully")
+	}
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *TransportError", err)
+	}
+}
+
+func TestCorruptCompressedRequestDropped(t *testing.T) {
+	// A request frame claiming a compressed payload that does not inflate
+	// must be dropped without killing the connection or the server.
+	_, _, addr := startEcho(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	rawRequest(t, conn, 1, MethodKey("test.Echo"), flagPayloadCompressed, []byte{0xff, 0xfe, 0xfd})
+	rawRequest(t, conn, 2, MethodKey("test.Echo"), 0, []byte("ok"))
+
+	// The only response must be for the valid request.
+	id, status, data := rawReadResponse(t, conn)
+	if id != 2 || status != statusOK || string(data) != "ok" {
+		t.Fatalf("response after corrupt frame = id %d status %d %q, want id 2 ok", id, status, data)
+	}
+}
+
+func TestPingTimeout(t *testing.T) {
+	// A server that accepts but never answers: Ping must give up after
+	// PingTimeout rather than hanging forever.
+	addr := fakeRawServer(t, func(net.Conn, []byte) {})
+
+	c := NewClient(addr, ClientOptions{PingTimeout: 50 * time.Millisecond})
+	defer c.Close()
+	start := time.Now()
+	err := c.Ping(context.Background())
+	if err == nil {
+		t.Fatal("ping to mute server succeeded")
+	}
+	if !strings.Contains(err.Error(), "ping timeout") {
+		t.Errorf("err = %v, want ping timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("ping took %v to time out (PingTimeout 50ms)", elapsed)
+	}
+}

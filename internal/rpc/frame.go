@@ -44,6 +44,7 @@ const (
 	statusOK           = 0 // payload is the method result encoding
 	statusError        = 1 // payload is a transport/dispatch error message
 	statusOKCompressed = 2 // payload is a flate-compressed result encoding
+	statusOverloaded   = 3 // request shed by admission control; never executed
 )
 
 // maxFrameSize bounds a single frame to defend against corrupt length

@@ -7,6 +7,7 @@ import (
 	"net"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -37,9 +38,25 @@ func InfoFromContext(ctx context.Context) (CallInfo, bool) {
 	return ci, ok
 }
 
+// ServerOptions configures a server's admission control (paper §5: the
+// runtime, not the developer, owns graceful handling of overload).
+type ServerOptions struct {
+	// MaxInflight bounds the number of concurrently executing handlers.
+	// Zero means unlimited (the historical behavior).
+	MaxInflight int
+	// MaxQueue bounds the number of requests allowed to wait for an
+	// execution slot once MaxInflight is reached. Requests beyond the
+	// queue — and queued requests whose deadline expires before a slot
+	// frees — are shed with statusOverloaded instead of piling up.
+	// Zero means no queue: reject immediately at capacity.
+	MaxQueue int
+}
+
 // A Server accepts weaver-protocol connections and dispatches requests to
 // registered handlers.
 type Server struct {
+	opts ServerOptions
+
 	mu       sync.Mutex
 	handlers map[MethodID]registeredHandler
 	lis      net.Listener
@@ -47,9 +64,19 @@ type Server struct {
 	closed   bool
 	wg       sync.WaitGroup
 
+	// Admission control: slots is a semaphore over executing handlers
+	// (nil when unlimited); queued counts waiters for a slot.
+	slots  chan struct{}
+	queued atomic.Int64
+
+	// delayNanos injects latency before every dispatch. It exists for the
+	// chaos harness, which uses it to simulate a sick/slow replica.
+	delayNanos atomic.Int64
+
 	// Metrics.
 	requests *metrics.Counter
 	errored  *metrics.Counter
+	shed     *metrics.Counter
 	rxBytes  *metrics.Counter
 	txBytes  *metrics.Counter
 }
@@ -59,15 +86,73 @@ type registeredHandler struct {
 	fn   Handler
 }
 
-// NewServer returns a server with no handlers registered.
+// NewServer returns a server with no handlers registered and no admission
+// limits.
 func NewServer() *Server {
-	return &Server{
+	return NewServerWithOptions(ServerOptions{})
+}
+
+// NewServerWithOptions returns a server with the given admission control
+// configuration and no handlers registered.
+func NewServerWithOptions(opts ServerOptions) *Server {
+	s := &Server{
+		opts:     opts,
 		handlers: map[MethodID]registeredHandler{},
 		conns:    map[net.Conn]struct{}{},
 		requests: metrics.Default.Counter("rpc.server.requests"),
 		errored:  metrics.Default.Counter("rpc.server.errors"),
+		shed:     metrics.Default.Counter("rpc.server.shed"),
 		rxBytes:  metrics.Default.Counter("rpc.server.rx_bytes"),
 		txBytes:  metrics.Default.Counter("rpc.server.tx_bytes"),
+	}
+	if opts.MaxInflight > 0 {
+		s.slots = make(chan struct{}, opts.MaxInflight)
+	}
+	return s
+}
+
+// SetDelay injects d of latency before each dispatch, respecting request
+// cancellation. Chaos tests use it to degrade a replica; zero clears it.
+func (s *Server) SetDelay(d time.Duration) { s.delayNanos.Store(int64(d)) }
+
+// admit blocks until the request may execute, or reports that it must be
+// shed. With no limit configured every request is admitted immediately.
+// At capacity the request waits in a bounded queue; it is shed if the
+// queue is full, or if its deadline expires (or its caller cancels)
+// before a slot frees — executing it then would be wasted work.
+func (s *Server) admit(ctx context.Context) bool {
+	if s.slots == nil {
+		return true
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+	}
+	if s.opts.MaxQueue <= 0 || ctx.Err() != nil {
+		return false
+	}
+	if s.queued.Add(1) > int64(s.opts.MaxQueue) {
+		s.queued.Add(-1)
+		return false
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		if ctx.Err() != nil {
+			<-s.slots
+			return false
+		}
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// release returns an execution slot.
+func (s *Server) release() {
+	if s.slots != nil {
+		<-s.slots
 	}
 }
 
@@ -217,9 +302,12 @@ func (s *Server) serveConn(conn net.Conn) {
 				args = inflated
 			}
 
-			ctx, cancel := context.WithCancel(context.Background())
+			var ctx context.Context
+			var cancel context.CancelFunc
 			if hdr.deadline != 0 {
 				ctx, cancel = context.WithDeadline(context.Background(), time.Unix(0, hdr.deadline))
+			} else {
+				ctx, cancel = context.WithCancel(context.Background())
 			}
 			inflight.Store(hdr.id, cancel)
 
@@ -231,11 +319,19 @@ func (s *Server) serveConn(conn net.Conn) {
 						c.(context.CancelFunc)()
 					}
 				}()
-				result, herr := s.dispatch(ctx, hdr, args)
 
 				var idBuf [9]byte
 				idBuf[0] = frameResponse
 				putUint64(idBuf[1:], hdr.id)
+
+				if !s.admit(ctx) {
+					s.shed.Inc()
+					_ = write(idBuf[:], []byte{statusOverloaded})
+					return
+				}
+				result, herr := s.dispatch(ctx, hdr, args)
+				s.release()
+
 				if herr != nil {
 					s.errored.Inc()
 					_ = write(idBuf[:], []byte{statusError}, []byte(herr.Error()))
@@ -294,6 +390,15 @@ func (s *Server) dispatch(ctx context.Context, hdr header, args []byte) (result 
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if d := time.Duration(s.delayNanos.Load()); d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	return h.fn(ctx, args)
 }

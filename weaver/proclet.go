@@ -29,10 +29,12 @@ func initProclet(ctx context.Context) (*App, error) {
 	}
 
 	p, err := proclet.Start(ctx, proclet.Options{
-		Conn:      conn,
-		ProcletID: replica,
-		Group:     group,
-		Version:   os.Getenv("WEAVER_VERSION"),
+		Conn:        conn,
+		ProcletID:   replica,
+		Group:       group,
+		Version:     os.Getenv("WEAVER_VERSION"),
+		MaxInflight: envInt("WEAVER_MAX_INFLIGHT"),
+		MaxQueue:    envInt("WEAVER_MAX_QUEUE"),
 		Fill: func(impl any, name string, logger *logging.Logger, resolve func(reflect.Type) (any, error)) error {
 			return FillComponent(impl, name, logger, resolve, defaultListen)
 		},

@@ -1,7 +1,7 @@
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race allocs bench bench-json
 
 # Tier-1 verification: everything a PR must keep green.
-check: vet build race
+check: vet build race allocs
 
 build:
 	go build ./...
@@ -15,5 +15,16 @@ test:
 race:
 	go test -race ./...
 
+# Allocation-budget gates for the zero-copy data plane (DESIGN.md §9).
+# They must run without -race: the detector makes sync.Pool drop Puts at
+# random, so alloc counts are only meaningful in a plain build.
+allocs:
+	go test -run 'TestAllocs' -count=1 ./internal/rpc
+
 bench:
 	go test -run xxx -bench . -benchtime 1x .
+
+# bench-json runs the data-plane microbenchmarks and records them as
+# machine-readable JSON in BENCH_rpc.json (EXPERIMENTS.md A9).
+bench-json:
+	go test -run xxx -bench 'BenchmarkTransport|BenchmarkCall' -benchmem ./internal/rpc . | go run ./cmd/benchjson -out BENCH_rpc.json

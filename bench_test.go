@@ -287,11 +287,15 @@ func BenchmarkTransport(b *testing.B) {
 	order := benchOrder()
 
 	b.Run("WeaverTCP", func(b *testing.B) {
+		// The production data-plane path: a framed handler answering from
+		// a pooled encoder, and the zero-copy CallFramed client API that
+		// generated stubs use via core.DataPlaneConn.
 		srv := rpc.NewServer()
-		srv.Register("bench.Echo", func(ctx context.Context, args []byte) ([]byte, error) {
-			out := make([]byte, len(args))
-			copy(out, args)
-			return out, nil
+		srv.RegisterFramed("bench.Echo", func(ctx context.Context, args []byte) ([]byte, rpc.BufOwner, error) {
+			enc := codec.GetEncoder()
+			enc.Reserve(rpc.ResponseHeadroom)
+			enc.Raw(args)
+			return enc.Framed(), enc, nil
 		})
 		addr, err := srv.Listen("127.0.0.1:0")
 		if err != nil {
@@ -302,12 +306,19 @@ func BenchmarkTransport(b *testing.B) {
 		defer client.Close()
 		ctx := context.Background()
 		payload := codec.Marshal(order)
+		method := rpc.MethodKey("bench.Echo")
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := client.Call(ctx, rpc.MethodKey("bench.Echo"), payload, rpc.CallOptions{}); err != nil {
+			enc := codec.GetEncoder()
+			enc.Reserve(rpc.PayloadHeadroom)
+			enc.Raw(payload)
+			resp, err := client.CallFramed(ctx, method, enc.Framed(), rpc.CallOptions{})
+			if err != nil {
 				b.Fatal(err)
 			}
+			resp.Release()
+			codec.PutEncoder(enc)
 		}
 		b.ReportMetric(float64(len(payload)), "payload_bytes")
 	})
@@ -382,8 +393,11 @@ func BenchmarkTransport(b *testing.B) {
 // goroutines multiplexed over the weaver client's striped connections.
 func BenchmarkTransportParallel(b *testing.B) {
 	srv := rpc.NewServer()
-	srv.Register("bench.EchoP", func(ctx context.Context, args []byte) ([]byte, error) {
-		return args, nil
+	srv.RegisterFramed("bench.EchoP", func(ctx context.Context, args []byte) ([]byte, rpc.BufOwner, error) {
+		enc := codec.GetEncoder()
+		enc.Reserve(rpc.ResponseHeadroom)
+		enc.Raw(args)
+		return enc.Framed(), enc, nil
 	})
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -394,13 +408,20 @@ func BenchmarkTransportParallel(b *testing.B) {
 	defer client.Close()
 	payload := codec.Marshal(benchOrder())
 	ctx := context.Background()
+	method := rpc.MethodKey("bench.EchoP")
 	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, err := client.Call(ctx, rpc.MethodKey("bench.EchoP"), payload, rpc.CallOptions{}); err != nil {
+			enc := codec.GetEncoder()
+			enc.Reserve(rpc.PayloadHeadroom)
+			enc.Raw(payload)
+			resp, err := client.CallFramed(ctx, method, enc.Framed(), rpc.CallOptions{})
+			if err != nil {
 				b.Fatal(err)
 			}
+			resp.Release()
+			codec.PutEncoder(enc)
 		}
 	})
 }

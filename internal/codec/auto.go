@@ -80,10 +80,11 @@ func EncodePtr(e *Encoder, ptr any) {
 
 // Marshal is a convenience wrapper that encodes v into a fresh byte slice.
 func Marshal(v any) []byte {
-	var e Encoder
-	Encode(&e, v)
+	e := GetEncoder()
+	Encode(e, v)
 	out := make([]byte, e.Len())
 	copy(out, e.Data())
+	PutEncoder(e)
 	return out
 }
 

@@ -34,9 +34,11 @@ import (
 )
 
 // Encoder serializes values into an internal buffer using the weaver wire
-// format. The zero value is ready to use. Encoders may be reused via Reset.
+// format. The zero value is ready to use. Encoders may be reused via Reset,
+// or recycled across calls with GetEncoder/PutEncoder.
 type Encoder struct {
-	buf []byte
+	buf  []byte
+	head int // bytes of transport headroom reserved by Reserve
 }
 
 // NewEncoder returns an encoder with capacity preallocated for hint bytes.
@@ -44,16 +46,45 @@ func NewEncoder(hint int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, hint)}
 }
 
-// Reset discards the encoder's contents, retaining the buffer for reuse.
-func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+// Reset discards the encoder's contents, including any reserved headroom,
+// retaining the buffer for reuse.
+func (e *Encoder) Reset() {
+	e.buf = e.buf[:0]
+	e.head = 0
+}
 
-// Data returns the encoded bytes. The returned slice aliases the encoder's
-// internal buffer and is invalidated by the next call to Reset or any
-// encoding method.
-func (e *Encoder) Data() []byte { return e.buf }
+// Reserve sets aside n bytes of scratch headroom at the front of the
+// buffer, before any encoded data. The transport uses this to prepend
+// framing (length prefix, frame type, request header) in place instead of
+// copying the payload into a fresh buffer. Reserve must be called before
+// any encoding method; it panics on a non-empty encoder. The headroom
+// contents are uninitialized scratch owned by whoever holds Framed().
+func (e *Encoder) Reserve(n int) {
+	if len(e.buf) != 0 {
+		panic("codec: Reserve called on a non-empty encoder")
+	}
+	if cap(e.buf) < n {
+		e.buf = make([]byte, n, n+256)
+	} else {
+		e.buf = e.buf[:n]
+	}
+	e.head = n
+}
 
-// Len reports the number of encoded bytes.
-func (e *Encoder) Len() int { return len(e.buf) }
+// Headroom reports the number of bytes reserved by Reserve.
+func (e *Encoder) Headroom() int { return e.head }
+
+// Data returns the encoded bytes, excluding any reserved headroom. The
+// returned slice aliases the encoder's internal buffer and is invalidated
+// by the next call to Reset or any encoding method.
+func (e *Encoder) Data() []byte { return e.buf[e.head:] }
+
+// Framed returns the reserved headroom followed by the encoded bytes as
+// one contiguous slice. Like Data, the result aliases the internal buffer.
+func (e *Encoder) Framed() []byte { return e.buf }
+
+// Len reports the number of encoded bytes, excluding headroom.
+func (e *Encoder) Len() int { return len(e.buf) - e.head }
 
 // Bool encodes a bool as a single byte.
 func (e *Encoder) Bool(v bool) {

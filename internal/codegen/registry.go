@@ -45,6 +45,13 @@ type MethodSpec struct {
 	// Declared with a "weaver:noretry" directive in the method's doc
 	// comment.
 	NoRetry bool
+
+	// ArgsPool and ResPool, when non-nil, recycle this method's args and
+	// results structs (see Pool). The hosting path uses them to serve a
+	// steady-state call without allocating either struct; NewArgs/NewRes
+	// remain the fallback for transports that retain the structs.
+	ArgsPool AnyPool
+	ResPool  AnyPool
 }
 
 // A Conn delivers method invocations to a (possibly remote) component

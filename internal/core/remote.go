@@ -199,9 +199,9 @@ func (c *DataPlaneConn) pickReplica(ctx context.Context, shard uint64, hasShard 
 // the caller giving up) is not held against the replica; a deadline that
 // expired mid-call is, because slowness is exactly what the breaker needs
 // to see.
-func (c *DataPlaneConn) callOnce(ctx context.Context, addr string, method rpc.MethodID, payload []byte, callOpts rpc.CallOptions) ([]byte, error) {
+func (c *DataPlaneConn) callOnce(ctx context.Context, addr string, method rpc.MethodID, framed []byte, callOpts rpc.CallOptions) (*rpc.Response, error) {
 	start := time.Now()
-	out, err := c.clientFor(addr).Call(ctx, method, payload, callOpts)
+	out, err := c.clientFor(addr).CallFramed(ctx, method, framed, callOpts)
 	if err == nil {
 		c.lat.add(time.Since(start))
 		if c.breakers != nil {
@@ -249,10 +249,18 @@ func (c *DataPlaneConn) hedgeDelay() time.Duration {
 // replica. The first response wins; the loser's context is canceled,
 // which propagates an explicit cancel frame to its server. Replicas the
 // hedge touches are recorded in tried.
-func (c *DataPlaneConn) callHedged(ctx context.Context, primary string, method rpc.MethodID, payload []byte, callOpts rpc.CallOptions, shard uint64, hasShard bool, tried map[string]bool) ([]byte, error) {
+//
+// framed is the caller's pooled request buffer. The hedge leg never
+// touches it: the leg gets a private copy, because both legs fill the
+// framing headroom in place and would otherwise race. The returned clean
+// flag reports whether framed is quiescent — false when the primary leg
+// may still be writing from it (a lost or abandoned leg blocked inside a
+// write), in which case the caller must neither reuse nor pool the buffer.
+func (c *DataPlaneConn) callHedged(ctx context.Context, primary string, method rpc.MethodID, framed []byte, callOpts rpc.CallOptions, shard uint64, hasShard bool, tried map[string]bool) (resp *rpc.Response, clean bool, err error) {
 	delay := c.hedgeDelay()
 	if delay <= 0 {
-		return c.callOnce(ctx, primary, method, payload, callOpts)
+		resp, err := c.callOnce(ctx, primary, method, framed, callOpts)
+		return resp, true, err
 	}
 
 	hctx, cancel := context.WithCancel(ctx)
@@ -260,40 +268,60 @@ func (c *DataPlaneConn) callHedged(ctx context.Context, primary string, method r
 
 	type attempt struct {
 		addr string
-		out  []byte
+		out  *rpc.Response
 		err  error
+		leg  int // 0 = primary
 	}
 	results := make(chan attempt, 2) // buffered: losers must not leak
-	launch := func(addr string) {
+	launch := func(addr string, buf []byte, leg int) {
 		go func() {
-			out, err := c.callOnce(hctx, addr, method, payload, callOpts)
-			results <- attempt{addr: addr, out: out, err: err}
+			out, err := c.callOnce(hctx, addr, method, buf, callOpts)
+			results <- attempt{addr: addr, out: out, err: err, leg: leg}
 		}()
 	}
-	launch(primary)
+	launch(primary, framed, 0)
 	outstanding := 1
+	primaryDone := false
 	hedged := false
 
 	timer := time.NewTimer(delay)
 	defer timer.Stop()
+
+	// drain releases responses from legs that lose after we have decided
+	// the call, so their pooled buffers are not stranded.
+	drain := func(n int) {
+		if n > 0 {
+			go func() {
+				for i := 0; i < n; i++ {
+					if a := <-results; a.out != nil {
+						a.out.Release()
+					}
+				}
+			}()
+		}
+	}
 
 	var firstErr error
 	for {
 		select {
 		case r := <-results:
 			outstanding--
+			if r.leg == 0 {
+				primaryDone = true
+			}
 			if r.err == nil {
-				if hedged && r.addr != primary {
+				if hedged && r.leg != 0 {
 					c.hedgeWins.Add(1)
 					c.mHedgeWins.Inc()
 				}
-				return r.out, nil
+				drain(outstanding)
+				return r.out, primaryDone, nil
 			}
 			if firstErr == nil {
 				firstErr = r.err
 			}
 			if outstanding == 0 {
-				return nil, firstErr
+				return nil, true, firstErr
 			}
 			// The other leg is still running; let it decide the call.
 		case <-timer.C:
@@ -308,17 +336,35 @@ func (c *DataPlaneConn) callHedged(ctx context.Context, primary string, method r
 			tried[addr] = true
 			c.hedges.Add(1)
 			c.mHedges.Inc()
-			launch(addr)
+			// Copy only the args region: the primary leg mutates the
+			// headroom concurrently, and the hedge leg fills its own.
+			dup := make([]byte, len(framed))
+			copy(dup[rpc.PayloadHeadroom:], framed[rpc.PayloadHeadroom:])
+			launch(addr, dup, 1)
 			outstanding++
 		}
 	}
 }
 
-// Invoke implements codegen.Conn.
+// Invoke implements codegen.Conn. Arguments are encoded once into a pooled
+// encoder with transport headroom, so the request travels from codec to
+// wire without copies; the response payload is decoded straight out of the
+// transport's pooled read buffer and released afterwards.
 func (c *DataPlaneConn) Invoke(ctx context.Context, component string, m *codegen.MethodSpec, args, res any, shard uint64, hasShard bool) error {
-	var enc codec.Encoder
-	codec.EncodePtr(&enc, args)
-	payload := enc.Data()
+	enc := codec.GetEncoder()
+	enc.Reserve(rpc.PayloadHeadroom)
+	codec.EncodePtr(enc, args)
+	framed := enc.Framed()
+	// reusable tracks whether enc's buffer is quiescent: a lost hedge leg
+	// may still be blocked writing from it, in which case the buffer can
+	// be neither pooled nor reused for a retry.
+	reusable := true
+	cloned := false
+	defer func() {
+		if reusable {
+			codec.PutEncoder(enc)
+		}
+	}()
 
 	var callOpts rpc.CallOptions
 	if hasShard {
@@ -362,14 +408,20 @@ func (c *DataPlaneConn) Invoke(ctx context.Context, component string, m *codegen
 		}
 		tried[addr] = true
 
-		var out []byte
+		var resp *rpc.Response
 		if !m.NoRetry && execAttempts == 0 && shedAttempts == 0 {
-			out, err = c.callHedged(ctx, addr, method, payload, callOpts, shard, hasShard, tried)
+			var clean bool
+			resp, clean, err = c.callHedged(ctx, addr, method, framed, callOpts, shard, hasShard, tried)
+			if !clean {
+				reusable = false
+			}
 		} else {
-			out, err = c.callOnce(ctx, addr, method, payload, callOpts)
+			resp, err = c.callOnce(ctx, addr, method, framed, callOpts)
 		}
 		if err == nil {
-			return codec.Unmarshal(out, res)
+			uerr := codec.Unmarshal(resp.Data(), res)
+			resp.Release()
+			return uerr
 		}
 		lastErr = err
 		if errors.Is(err, rpc.ErrOverloaded) {
@@ -377,15 +429,24 @@ func (c *DataPlaneConn) Invoke(ctx context.Context, component string, m *codegen
 			if shedAttempts >= shedBudget {
 				break
 			}
-			continue
+		} else {
+			var te *rpc.TransportError
+			if !errors.As(err, &te) {
+				return err // context cancellation or application-visible error
+			}
+			execAttempts++
+			if execAttempts >= execBudget {
+				break
+			}
 		}
-		var te *rpc.TransportError
-		if !errors.As(err, &te) {
-			return err // context cancellation or application-visible error
-		}
-		execAttempts++
-		if execAttempts >= execBudget {
-			break
+		if !reusable && !cloned {
+			// An abandoned hedge leg may still be writing from the shared
+			// buffer; retry from a private copy of the args region (the
+			// headroom is per-attempt scratch).
+			dup := make([]byte, len(framed))
+			copy(dup[rpc.PayloadHeadroom:], framed[rpc.PayloadHeadroom:])
+			framed = dup
+			cloned = true
 		}
 	}
 	return fmt.Errorf("core: %s.%s failed after %d attempts: %w",
@@ -453,21 +514,42 @@ func HostComponents(ctx context.Context, r *Runtime, srv *rpc.Server, components
 		latency := r.opts.Metrics.Histogram("component.served_latency_us."+ShortName(name), nil)
 		for _, m := range reg.Methods {
 			m := m
-			srv.Register(reg.FullMethod(m.Name), func(ctx context.Context, argBytes []byte) ([]byte, error) {
+			srv.RegisterFramed(reg.FullMethod(m.Name), func(ctx context.Context, argBytes []byte) ([]byte, rpc.BufOwner, error) {
 				served.Inc()
 				start := time.Now()
 				defer func() { latency.Put(float64(time.Since(start).Microseconds())) }()
-				args := m.NewArgs()
-				if err := codec.Unmarshal(argBytes, args); err != nil {
-					return nil, fmt.Errorf("bad arguments for %s.%s: %w", ShortName(reg.Name), m.Name, err)
+				var args any
+				if m.ArgsPool != nil {
+					args = m.ArgsPool.GetAny()
+				} else {
+					args = m.NewArgs()
 				}
-				res := m.NewRes()
+				if err := codec.Unmarshal(argBytes, args); err != nil {
+					if m.ArgsPool != nil {
+						m.ArgsPool.PutAny(args)
+					}
+					return nil, nil, fmt.Errorf("bad arguments for %s.%s: %w", ShortName(reg.Name), m.Name, err)
+				}
+				var res any
+				if m.ResPool != nil {
+					res = m.ResPool.GetAny()
+				} else {
+					res = m.NewRes()
+				}
 				m.Do(ctx, impl, args, res)
-				var enc codec.Encoder
-				codec.EncodePtr(&enc, res)
-				out := make([]byte, enc.Len())
-				copy(out, enc.Data())
-				return out, nil
+				// Encode the results into a pooled encoder with response
+				// headroom; the transport frames it in place, writes it,
+				// and releases the encoder (its Release is the BufOwner).
+				enc := codec.GetEncoder()
+				enc.Reserve(rpc.ResponseHeadroom)
+				codec.EncodePtr(enc, res)
+				if m.ArgsPool != nil {
+					m.ArgsPool.PutAny(args)
+				}
+				if m.ResPool != nil {
+					m.ResPool.PutAny(res)
+				}
+				return enc.Framed(), enc, nil
 			})
 		}
 	}

@@ -128,8 +128,14 @@ func TestRoutedComponentAffinity(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Wait for all three replicas to be live so the assignment is stable.
-	waitFor(t, 10*time.Second, func() bool { return d.Manager.ReplicaCount("Counter") == 3 })
+	// Wait for all three replicas to be live AND for the resulting routing
+	// assignment to reach the driver's balancer, so it is stable before the
+	// first call. Waiting only on the manager's count races with the async
+	// routing push: an early call could still route on a 1-replica view.
+	waitFor(t, 10*time.Second, func() bool {
+		return d.Manager.ReplicaCount("Counter") == 3 &&
+			d.RoutingReplicas("repro/internal/testpkg/Counter") == 3
+	})
 
 	// Each key's counts must be consistent, i.e. all increments for a key
 	// land on the same replica. With 3 replicas and per-replica state,

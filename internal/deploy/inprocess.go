@@ -145,6 +145,15 @@ func Get[T any](ctx context.Context, d *InProcess) (T, error) {
 	return v.(T), nil
 }
 
+// RoutingReplicas reports how many replicas the main driver's client-side
+// balancer currently knows for the named component. Tests that depend on a
+// stable routing assignment should wait on this rather than (only) the
+// manager's replica count: the manager learns of a replica before the
+// routing push reaches the driver.
+func (d *InProcess) RoutingReplicas(component string) int {
+	return d.main.RoutingReplicas(component)
+}
+
 // Proclet returns the proclet for a replica id, if it is running.
 func (d *InProcess) Proclet(id string) (*proclet.Proclet, bool) {
 	d.mu.Lock()

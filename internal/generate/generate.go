@@ -657,6 +657,12 @@ func (g *generator) emitComponent(b *bytes.Buffer, c *component) {
 			field{name: "Err", typ: "string"},
 			field{name: "HasErr", typ: "bool"})
 		g.emitMarshal(b, resType(c, m), resFields)
+
+		// Pools recycle the args/results structs across calls: the stub
+		// draws from them on the caller side, and the hosting path (via
+		// MethodSpec.ArgsPool/ResPool) on the server side.
+		fmt.Fprintf(b, "var %s_pool codegen.Pool[%s]\n", argsType(c, m), argsType(c, m))
+		fmt.Fprintf(b, "var %s_pool codegen.Pool[%s]\n\n", resType(c, m), resType(c, m))
 	}
 
 	// Client stub.
@@ -683,32 +689,37 @@ func (g *generator) emitComponent(b *bytes.Buffer, c *component) {
 		}
 		fmt.Fprintf(b, "error) {\n")
 
-		fmt.Fprintf(b, "\targs := %s{", argsType(c, m))
+		// The args/results structs come from per-method pools and return
+		// to them before the stub returns; results are extracted into
+		// locals first, so callers never see pooled memory.
+		fmt.Fprintf(b, "\targs := %s_pool.Get()\n", argsType(c, m))
 		for i, p := range m.params {
-			if i > 0 {
-				fmt.Fprintf(b, ", ")
-			}
-			fmt.Fprintf(b, "P%d: %s", i, p.name)
+			fmt.Fprintf(b, "\targs.P%d = %s\n", i, p.name)
 		}
-		fmt.Fprintf(b, "}\n")
-		fmt.Fprintf(b, "\tvar res %s\n", resType(c, m))
+		fmt.Fprintf(b, "\tres := %s_pool.Get()\n", resType(c, m))
 		if m.routed {
 			fmt.Fprintf(b, "\tvar router %s\n", c.routerName)
 			fmt.Fprintf(b, "\tshard := routing.KeyHash(router.%s(%s))\n", m.name, stubRouterArgs(m))
-			fmt.Fprintf(b, "\terr := s.conn.Invoke(ctx, %q, s.m%s, &args, &res, shard, true)\n", full, m.name)
+			fmt.Fprintf(b, "\terr := s.conn.Invoke(ctx, %q, s.m%s, args, res, shard, true)\n", full, m.name)
 		} else {
-			fmt.Fprintf(b, "\terr := s.conn.Invoke(ctx, %q, s.m%s, &args, &res, 0, false)\n", full, m.name)
+			fmt.Fprintf(b, "\terr := s.conn.Invoke(ctx, %q, s.m%s, args, res, 0, false)\n", full, m.name)
 		}
+		for i := range m.results {
+			fmt.Fprintf(b, "\tr%d := res.R%d\n", i, i)
+		}
+		fmt.Fprintf(b, "\trerr := codegen.WireToError(res.Err, res.HasErr)\n")
+		fmt.Fprintf(b, "\t%s_pool.Put(args)\n", argsType(c, m))
+		fmt.Fprintf(b, "\t%s_pool.Put(res)\n", resType(c, m))
 		fmt.Fprintf(b, "\tif err != nil {\n\t\treturn ")
 		for i := range m.results {
-			fmt.Fprintf(b, "res.R%d, ", i)
+			fmt.Fprintf(b, "r%d, ", i)
 		}
 		fmt.Fprintf(b, "err\n\t}\n")
 		fmt.Fprintf(b, "\treturn ")
 		for i := range m.results {
-			fmt.Fprintf(b, "res.R%d, ", i)
+			fmt.Fprintf(b, "r%d, ", i)
 		}
-		fmt.Fprintf(b, "codegen.WireToError(res.Err, res.HasErr)\n}\n\n")
+		fmt.Fprintf(b, "rerr\n}\n\n")
 	}
 
 	// Registration.
@@ -742,6 +753,8 @@ func (g *generator) emitComponent(b *bytes.Buffer, c *component) {
 			fmt.Fprintf(b, "\t\t},\n")
 		}
 		fmt.Fprintf(b, "\t}\n")
+		fmt.Fprintf(b, "\tm%s%s.ArgsPool = &%s_pool\n", c.ifaceName, m.name, argsType(c, m))
+		fmt.Fprintf(b, "\tm%s%s.ResPool = &%s_pool\n", c.ifaceName, m.name, resType(c, m))
 	}
 	fmt.Fprintf(b, "\tcodegen.Register(codegen.Registration{\n")
 	fmt.Fprintf(b, "\t\tName: %q,\n", full)

@@ -61,10 +61,11 @@ type Options struct {
 
 // routeState tracks what this proclet knows about one remote component.
 type routeState struct {
-	conn    *core.DataPlaneConn
-	version uint64
-	ready   chan struct{} // closed when the first routing info arrives
-	once    sync.Once
+	conn     *core.DataPlaneConn
+	version  uint64
+	replicas int           // replica count in the last applied routing info
+	ready    chan struct{} // closed when the first routing info arrives
+	once     sync.Once
 }
 
 // Proclet is the per-process daemon.
@@ -411,9 +412,30 @@ func (p *Proclet) updateRouting(ri *pipe.RoutingInfo) {
 	p.mu.Unlock()
 
 	rs.conn.Balancer().Update(ri.Replicas, ri.Assignment)
+	// Publish the replica count only after the balancer has applied the
+	// update, so RoutingReplicas never runs ahead of what Pick sees.
+	p.mu.Lock()
+	if rs.version == ri.Version {
+		rs.replicas = len(ri.Replicas)
+	}
+	p.mu.Unlock()
 	if len(ri.Replicas) > 0 {
 		rs.once.Do(func() { close(rs.ready) })
 	}
+}
+
+// RoutingReplicas reports how many replicas this proclet's client-side
+// balancer currently knows for a component (by full registration name).
+// Routing info propagates asynchronously from the manager, so code that
+// needs a stable replica set — e.g. a test asserting routing affinity —
+// must wait for the client-visible count, not just the manager's.
+func (p *Proclet) RoutingReplicas(component string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if rs, ok := p.routes[component]; ok {
+		return rs.replicas
+	}
+	return 0
 }
 
 // reportLoop periodically ships load reports and telemetry.

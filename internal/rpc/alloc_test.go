@@ -1,0 +1,173 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"io"
+	"net"
+	"runtime"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/metrics"
+)
+
+// These tests gate the zero-copy data plane's allocation budget: a
+// steady-state unary echo must stay within a couple of allocations per op
+// on each side. They run without the race detector (see raceEnabled) and
+// are wired into `make check` via the allocs target.
+
+// zeroAllocEchoPeer services the server side of a net.Pipe with a
+// hand-rolled loop that reuses its read and write buffers, so the peer
+// contributes no steady-state allocations to AllocsPerRun's global malloc
+// count. It echoes request args back as the response payload.
+func zeroAllocEchoPeer(conn net.Conn) {
+	var rbuf []byte
+	wbuf := make([]byte, 0, 1024)
+	for {
+		frame, err := readFrameInto(conn, &rbuf)
+		if err != nil {
+			return
+		}
+		if len(frame) < 1+headerSize || frame[0] != frameRequest {
+			continue
+		}
+		var hdr header
+		if err := hdr.decode(frame[1:]); err != nil {
+			continue
+		}
+		args := frame[1+headerSize:]
+		wbuf = append(wbuf[:0], 0, 0, 0, 0, frameResponse)
+		wbuf = binary.LittleEndian.AppendUint64(wbuf, hdr.id)
+		wbuf = append(wbuf, statusOK)
+		wbuf = append(wbuf, args...)
+		binary.LittleEndian.PutUint32(wbuf, uint32(len(wbuf)-4))
+		if _, err := conn.Write(wbuf); err != nil {
+			return
+		}
+	}
+}
+
+// TestAllocsClientCall gates the client fast path: encoding into a pooled
+// headroom buffer plus CallFramed plus Release must cost at most 2
+// allocations per call (budget: the pending-reply channel, plus slack for
+// map-bucket growth).
+func TestAllocsClientCall(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are nondeterministic under the race detector (sync.Pool drops Puts)")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+
+	cliSide, srvSide := net.Pipe()
+	defer cliSide.Close()
+	defer srvSide.Close()
+	go zeroAllocEchoPeer(srvSide)
+
+	c := NewClient("pipe", ClientOptions{
+		Dialer: func(ctx context.Context, addr string) (net.Conn, error) { return cliSide, nil },
+	})
+	defer c.Close()
+
+	method := MethodKey("alloc.Echo")
+	ctx := context.Background()
+	call := func() {
+		enc := codec.GetEncoder()
+		enc.Reserve(PayloadHeadroom)
+		enc.String("ping-pong payload")
+		resp, err := c.CallFramed(ctx, method, enc.Framed(), CallOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Data()) == 0 {
+			t.Fatal("empty echo")
+		}
+		resp.Release()
+		codec.PutEncoder(enc)
+	}
+	call() // warm up: dial, pools, map buckets
+
+	allocs := testing.AllocsPerRun(200, call)
+	if allocs > 2 {
+		t.Errorf("client call path allocates %.1f allocs/op, budget is 2", allocs)
+	}
+}
+
+// TestAllocsServerDispatch gates the server fast path: admission, dispatch
+// through a framed handler that answers from a pooled encoder, and the
+// in-place response write must cost at most 4 allocations per request
+// (budget: context.WithValue plus the boxed CallInfo, plus slack).
+func TestAllocsServerDispatch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are nondeterministic under the race detector (sync.Pool drops Puts)")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+
+	s := NewServer()
+	s.RegisterFramed("alloc.ServerEcho", func(ctx context.Context, args []byte) ([]byte, BufOwner, error) {
+		enc := codec.GetEncoder()
+		enc.Reserve(ResponseHeadroom)
+		enc.Bytes(args)
+		return enc.Framed(), enc, nil
+	})
+
+	cw := &connWriter{w: io.Discard, tx: metrics.Default.Counter("rpc.server.tx_bytes")}
+	hdr := header{id: 7, method: MethodKey("alloc.ServerEcho")}
+	args := []byte("ping-pong payload")
+	ctx := context.Background()
+
+	serve := func() { s.handleRequest(ctx, cw, hdr, args) }
+	serve() // warm up pools
+
+	allocs := testing.AllocsPerRun(200, serve)
+	if allocs > 4 {
+		t.Errorf("server dispatch path allocates %.1f allocs/op, budget is 4", allocs)
+	}
+}
+
+// TestAllocsEndToEnd measures (without gating hard) the full round trip
+// over a real TCP socket through the public API, as documentation of where
+// the remaining per-call allocations live. It fails only on gross
+// regression.
+func TestAllocsEndToEnd(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are nondeterministic under the race detector (sync.Pool drops Puts)")
+	}
+	s := NewServer()
+	s.RegisterFramed("alloc.E2E", func(ctx context.Context, args []byte) ([]byte, BufOwner, error) {
+		enc := codec.GetEncoder()
+		enc.Reserve(ResponseHeadroom)
+		enc.Bytes(args)
+		return enc.Framed(), enc, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := NewClient(addr, ClientOptions{})
+	defer c.Close()
+
+	method := MethodKey("alloc.E2E")
+	ctx := context.Background()
+	payload := bytes.Repeat([]byte("x"), 64)
+	call := func() {
+		enc := codec.GetEncoder()
+		enc.Reserve(PayloadHeadroom)
+		enc.Bytes(payload)
+		resp, err := c.CallFramed(ctx, method, enc.Framed(), CallOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Release()
+		codec.PutEncoder(enc)
+	}
+	call()
+
+	allocs := testing.AllocsPerRun(100, call)
+	// Both sides of a real connection run here: the client channel, the
+	// server's per-request goroutine, context, and inflight bookkeeping.
+	if allocs > 16 {
+		t.Errorf("end-to-end round trip allocates %.1f allocs/op, budget is 16", allocs)
+	}
+}

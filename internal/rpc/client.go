@@ -118,20 +118,52 @@ func (c *Client) Addr() string { return c.addr }
 // returns the raw result payload. Errors of type *TransportError indicate
 // delivery failure; the result payload may itself encode an application
 // error, which generated stubs decode.
+//
+// The returned payload is a private copy: callers may retain it freely.
+// The zero-allocation path is CallFramed.
 func (c *Client) Call(ctx context.Context, id MethodID, args []byte, opts CallOptions) ([]byte, error) {
+	resp, err := c.call(ctx, id, args, false, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Copy-on-retain boundary: resp.Data aliases a pooled read buffer that
+	// is recycled on Release, and this API hands the payload to callers
+	// with no release obligation.
+	out := make([]byte, len(resp.Data()))
+	copy(out, resp.Data())
+	resp.Release()
+	return out, nil
+}
+
+// CallFramed is the zero-copy variant of Call. framed must hold
+// PayloadHeadroom bytes of scratch followed by the encoded args (see
+// codec.Encoder.Reserve); the transport fills the framing into the scratch
+// in place and writes the buffer with a single Write. The headroom bytes
+// are owned by CallFramed until it returns; the args bytes are only read.
+//
+// On success the caller owns the returned Response and must call Release
+// after decoding; the payload from Response.Data is invalid afterwards.
+func (c *Client) CallFramed(ctx context.Context, id MethodID, framed []byte, opts CallOptions) (*Response, error) {
+	if len(framed) < PayloadHeadroom {
+		return nil, &TransportError{Addr: c.addr, Err: fmt.Errorf("rpc: framed buffer of %d bytes lacks %d bytes of headroom", len(framed), PayloadHeadroom)}
+	}
+	return c.call(ctx, id, framed, true, opts)
+}
+
+func (c *Client) call(ctx context.Context, id MethodID, framed []byte, owned bool, opts CallOptions) (*Response, error) {
 	c.calls.Inc()
 	cc, err := c.conn(ctx)
 	if err != nil {
 		return nil, &TransportError{Addr: c.addr, Err: err}
 	}
-	res, err := cc.roundTrip(ctx, id, args, opts)
+	resp, err := cc.roundTrip(ctx, id, framed, owned, opts)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
 		return nil, &TransportError{Addr: c.addr, Err: err}
 	}
-	return res, nil
+	return resp, nil
 }
 
 // Ping verifies liveness of the server with a ping/pong round trip.
@@ -208,21 +240,54 @@ type clientConn struct {
 	writeMu sync.Mutex
 
 	mu      sync.Mutex
-	pending map[uint64]chan response
+	pending map[uint64]chan *Response
 	pings   map[uint64]chan struct{}
 	err     error // non-nil once broken
 }
 
-type response struct {
-	status byte
-	data   []byte
+// A Response is the result of a successful CallFramed. Its payload aliases
+// a pooled read buffer: the caller owns the Response until Release, after
+// which the payload is invalid and may be overwritten by a later call.
+// Anything retained past Release must be copied out first.
+type Response struct {
+	status   byte
+	released bool
+	data     []byte
+	frame    []byte // pooled backing buffer the read loop fills
+}
+
+var responsePool = sync.Pool{New: func() any { return new(Response) }}
+
+func newResponse() *Response {
+	r := responsePool.Get().(*Response)
+	r.released = false
+	return r
+}
+
+// Data returns the result payload. The slice is invalidated by Release.
+func (r *Response) Data() []byte { return r.data }
+
+// Release returns the response's buffer to the read pool. It panics on
+// double release: that is always an ownership bug that would otherwise
+// surface as silent payload corruption.
+func (r *Response) Release() {
+	if r.released {
+		panic("rpc: Response released twice")
+	}
+	r.released = true
+	r.status = 0
+	r.data = nil
+	if cap(r.frame) > maxPooledFrame {
+		r.frame = nil
+	}
+	responsePool.Put(r)
 }
 
 func newClientConn(conn net.Conn, c *Client) *clientConn {
 	cc := &clientConn{
 		conn:    conn,
 		client:  c,
-		pending: map[uint64]chan response{},
+		pending: map[uint64]chan *Response{},
 		pings:   map[uint64]chan struct{}{},
 	}
 	go cc.readLoop()
@@ -243,7 +308,7 @@ func (cc *clientConn) close(err error) {
 	}
 	pending := cc.pending
 	pings := cc.pings
-	cc.pending = map[uint64]chan response{}
+	cc.pending = map[uint64]chan *Response{}
 	cc.pings = map[uint64]chan struct{}{}
 	cc.mu.Unlock()
 
@@ -258,64 +323,105 @@ func (cc *clientConn) close(err error) {
 
 func (cc *clientConn) readLoop() {
 	for {
-		frame, err := readFrame(cc.conn)
+		// Each response is read into a pooled buffer owned by the Response
+		// that carries it: ownership transfers to the waiting caller, who
+		// releases it after decoding. Unclaimed responses (caller canceled,
+		// malformed frames, pongs) are released here.
+		resp := newResponse()
+		frame, err := readFrameInto(cc.conn, &resp.frame)
 		if err != nil {
+			resp.Release()
 			cc.close(err)
 			return
 		}
 		cc.client.rxBytes.Add(uint64(len(frame)))
 		if len(frame) == 0 {
+			resp.Release()
 			continue
 		}
 		typ, payload := frame[0], frame[1:]
 		switch typ {
 		case frameResponse:
 			if len(payload) < 9 {
+				resp.Release()
 				continue
 			}
 			id := getUint64(payload)
-			status := payload[8]
-			data := payload[9:]
+			resp.status = payload[8]
+			resp.data = payload[9:]
+			// Hand off under the lock: close() closes pending channels
+			// under the same lock, so the channel cannot be closed between
+			// the lookup and the (never-blocking, buffered) send.
 			cc.mu.Lock()
 			ch, ok := cc.pending[id]
-			delete(cc.pending, id)
-			cc.mu.Unlock()
 			if ok {
-				ch <- response{status: status, data: data}
+				delete(cc.pending, id)
+				ch <- resp // ownership moves to the waiter
+			}
+			cc.mu.Unlock()
+			if !ok {
+				resp.Release()
 			}
 		case framePong:
-			if len(payload) < 8 {
-				continue
+			if len(payload) >= 8 {
+				nonce := getUint64(payload)
+				cc.mu.Lock()
+				ch, ok := cc.pings[nonce]
+				if ok {
+					delete(cc.pings, nonce)
+					close(ch)
+				}
+				cc.mu.Unlock()
 			}
-			nonce := getUint64(payload)
-			cc.mu.Lock()
-			ch, ok := cc.pings[nonce]
-			delete(cc.pings, nonce)
-			cc.mu.Unlock()
-			if ok {
-				close(ch)
-			}
+			resp.Release()
+		default:
+			resp.Release()
 		}
 	}
 }
 
 func (cc *clientConn) write(chunks ...[]byte) error {
-	cc.writeMu.Lock()
-	defer cc.writeMu.Unlock()
 	var n int
 	for _, c := range chunks {
 		n += len(c)
 	}
-	cc.client.txBytes.Add(uint64(n))
-	if err := writeFrame(cc.conn, chunks...); err != nil {
+	cc.writeMu.Lock()
+	err := writeFrame(cc.conn, chunks...)
+	cc.writeMu.Unlock()
+	if err != nil {
 		cc.close(err)
 		return err
 	}
+	// Count only bytes that made it to the wire: a failed write must not
+	// inflate the tx metric.
+	cc.client.txBytes.Add(uint64(n))
 	return nil
 }
 
-func (cc *clientConn) roundTrip(ctx context.Context, method MethodID, args []byte, opts CallOptions) ([]byte, error) {
+// writeFramed writes a preassembled frame whose leading 4 bytes are length
+// scratch — the zero-copy request path.
+func (cc *clientConn) writeFramed(framed []byte) error {
+	cc.writeMu.Lock()
+	err := writeFramed(cc.conn, framed)
+	cc.writeMu.Unlock()
+	if err != nil {
+		cc.close(err)
+		return err
+	}
+	cc.client.txBytes.Add(uint64(len(framed) - 4))
+	return nil
+}
+
+// roundTrip sends one request and waits for its response. When owned is
+// true, framed carries PayloadHeadroom bytes of scratch ahead of the args
+// and the frame is written in place from the caller's buffer; otherwise
+// framed is just the args payload (legacy Call path).
+func (cc *clientConn) roundTrip(ctx context.Context, method MethodID, framed []byte, owned bool, opts CallOptions) (*Response, error) {
 	id := cc.client.nextID.Add(1)
+	args := framed
+	if owned {
+		args = framed[PayloadHeadroom:]
+	}
 
 	hdr := header{
 		id:     id,
@@ -328,6 +434,7 @@ func (cc *clientConn) roundTrip(ctx context.Context, method MethodID, args []byt
 	if dl, ok := ctx.Deadline(); ok {
 		hdr.deadline = dl.UnixNano()
 	}
+	inPlace := owned
 	if co := cc.client.opts; co.Compress {
 		// Advertise response compression; compress the request itself when
 		// it is big enough to be worth the CPU.
@@ -336,11 +443,12 @@ func (cc *clientConn) roundTrip(ctx context.Context, method MethodID, args []byt
 			if small, ok := compress(args); ok {
 				args = small
 				hdr.flags |= flagPayloadCompressed
+				inPlace = false // payload moved to a fresh buffer
 			}
 		}
 	}
 
-	ch := make(chan response, 1)
+	ch := make(chan *Response, 1)
 	cc.mu.Lock()
 	if cc.err != nil {
 		err := cc.err
@@ -350,14 +458,22 @@ func (cc *clientConn) roundTrip(ctx context.Context, method MethodID, args []byt
 	cc.pending[id] = ch
 	cc.mu.Unlock()
 
-	var buf [1 + headerSize]byte
-	buf[0] = frameRequest
-	hdr.encode(buf[1:])
-	if err := cc.write(buf[:], args); err != nil {
+	var werr error
+	if inPlace {
+		framed[4] = frameRequest
+		hdr.encode(framed[5 : 5+headerSize])
+		werr = cc.writeFramed(framed)
+	} else {
+		var buf [1 + headerSize]byte
+		buf[0] = frameRequest
+		hdr.encode(buf[1:])
+		werr = cc.write(buf[:], args)
+	}
+	if werr != nil {
 		cc.mu.Lock()
 		delete(cc.pending, id)
 		cc.mu.Unlock()
-		return nil, err
+		return nil, werr
 	}
 
 	select {
@@ -371,21 +487,38 @@ func (cc *clientConn) roundTrip(ctx context.Context, method MethodID, args []byt
 			}
 			return nil, err
 		}
-		if resp.status == statusError {
-			return nil, fmt.Errorf("%s", resp.data)
-		}
-		if resp.status == statusOverloaded {
+		switch resp.status {
+		case statusError:
+			err := fmt.Errorf("%s", resp.data)
+			resp.Release()
+			return nil, err
+		case statusOverloaded:
+			resp.Release()
 			return nil, ErrOverloaded
+		case statusOKCompressed:
+			data, err := decompress(resp.data)
+			if err != nil {
+				resp.Release()
+				return nil, err
+			}
+			resp.data = data // fresh heap slice; the frame stays pooled
+			return resp, nil
 		}
-		if resp.status == statusOKCompressed {
-			return decompress(resp.data)
-		}
-		return resp.data, nil
+		return resp, nil
 	case <-ctx.Done():
 		// Tell the server to stop working on this request, then abandon it.
 		cc.mu.Lock()
 		delete(cc.pending, id)
 		cc.mu.Unlock()
+		// The read loop may have handed the response off concurrently;
+		// reclaim it so the buffer is not stranded.
+		select {
+		case resp, ok := <-ch:
+			if ok {
+				resp.Release()
+			}
+		default:
+		}
 		var cbuf [9]byte
 		cbuf[0] = frameCancel
 		putUint64(cbuf[1:], id)

@@ -1,0 +1,9 @@
+//go:build race
+
+package rpc
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-budget tests skip under race: the detector instruments
+// sync.Pool to drop Puts at random, which makes alloc counts
+// nondeterministic (and meaningless as a performance gate).
+const raceEnabled = true

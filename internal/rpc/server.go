@@ -2,8 +2,10 @@ package rpc
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"runtime/debug"
 	"sync"
@@ -21,6 +23,25 @@ import (
 // failure (bad payload, handler panic) and is reported to the caller as a
 // transport error.
 type Handler func(ctx context.Context, args []byte) ([]byte, error)
+
+// A BufOwner owns a pooled buffer handed to the transport. The transport
+// calls Release exactly once, after the buffer's bytes are on the wire (or
+// abandoned); the buffer is invalid afterwards. codec.Encoder implements
+// BufOwner, so handlers can hand their pooled encoder straight to the
+// server.
+type BufOwner interface{ Release() }
+
+// A FramedHandler is the zero-copy variant of Handler. The returned buffer
+// must hold ResponseHeadroom bytes of scratch followed by the result
+// payload (see codec.Encoder.Reserve); the server fills the response
+// framing into the scratch in place and writes the buffer with a single
+// Write. A non-nil owner is released by the server once the response has
+// been written; on a non-nil error both framed and owner must be nil.
+//
+// args aliases a pooled read buffer that is recycled when the handler's
+// response has been written: a handler may alias args in its result but
+// must copy anything it retains beyond returning.
+type FramedHandler func(ctx context.Context, args []byte) (framed []byte, owner BufOwner, err error)
 
 // CallInfo describes the call being handled, available to handlers via
 // InfoFromContext.
@@ -83,7 +104,8 @@ type Server struct {
 
 type registeredHandler struct {
 	name string
-	fn   Handler
+	fn   Handler       // exactly one of fn
+	ffn  FramedHandler // and ffn is set
 }
 
 // NewServer returns a server with no handlers registered and no admission
@@ -160,13 +182,23 @@ func (s *Server) release() {
 // panics if the name (or its 32-bit hash) is already taken: hash collisions
 // must be caught at startup, not mid-request.
 func (s *Server) Register(fullName string, h Handler) {
-	id := MethodKey(fullName)
+	s.register(registeredHandler{name: fullName, fn: h})
+}
+
+// RegisterFramed installs a zero-copy handler for the fully-qualified
+// method name, with the same collision rules as Register.
+func (s *Server) RegisterFramed(fullName string, h FramedHandler) {
+	s.register(registeredHandler{name: fullName, ffn: h})
+}
+
+func (s *Server) register(h registeredHandler) {
+	id := MethodKey(h.name)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if prev, ok := s.handlers[id]; ok {
-		panic(fmt.Sprintf("rpc: method registration conflict: %q and %q share id %#x", prev.name, fullName, id))
+		panic(fmt.Sprintf("rpc: method registration conflict: %q and %q share id %#x", prev.name, h.name, id))
 	}
-	s.handlers[id] = registeredHandler{name: fullName, fn: h}
+	s.handlers[id] = h
 }
 
 // Serve accepts connections from lis until the server is closed. It always
@@ -253,26 +285,21 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 
 	var (
-		writeMu  sync.Mutex
 		inflight sync.Map // request id -> context.CancelFunc
 		connWG   sync.WaitGroup
 	)
 	defer connWG.Wait()
 
-	write := func(chunks ...[]byte) error {
-		writeMu.Lock()
-		defer writeMu.Unlock()
-		var n int
-		for _, c := range chunks {
-			n += len(c)
-		}
-		s.txBytes.Add(uint64(n))
-		return writeFrame(conn, chunks...)
-	}
+	cw := &connWriter{w: conn, tx: s.txBytes}
 
 	for {
-		frame, err := readFrame(conn)
+		// Each request frame is read into a pooled buffer owned by the
+		// goroutine that handles it; the buffer returns to the pool after
+		// the response is written, so handlers may alias args freely.
+		fb := getFrame()
+		frame, err := readFrameInto(conn, &fb.b)
 		if err != nil {
+			putFrame(fb)
 			// Cancel everything still running on this connection: the
 			// caller is gone.
 			inflight.Range(func(_, v any) bool {
@@ -283,6 +310,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		s.rxBytes.Add(uint64(len(frame)))
 		if len(frame) == 0 {
+			putFrame(fb)
 			continue
 		}
 		typ, payload := frame[0], frame[1:]
@@ -290,17 +318,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		case frameRequest:
 			var hdr header
 			if err := hdr.decode(payload); err != nil {
+				putFrame(fb)
 				continue // malformed; drop
 			}
 			args := payload[headerSize:]
 			s.requests.Inc()
-			if hdr.flags&flagPayloadCompressed != 0 {
-				inflated, err := decompress(args)
-				if err != nil {
-					continue // corrupt payload; drop like other malformed frames
-				}
-				args = inflated
-			}
 
 			var ctx context.Context
 			var cancel context.CancelFunc
@@ -312,69 +334,173 @@ func (s *Server) serveConn(conn net.Conn) {
 			inflight.Store(hdr.id, cancel)
 
 			connWG.Add(1)
-			go func(hdr header, args []byte) {
+			go func(ctx context.Context, hdr header, args []byte, fb *frameBuf) {
 				defer connWG.Done()
+				defer putFrame(fb)
 				defer func() {
 					if c, ok := inflight.LoadAndDelete(hdr.id); ok {
 						c.(context.CancelFunc)()
 					}
 				}()
-
-				var idBuf [9]byte
-				idBuf[0] = frameResponse
-				putUint64(idBuf[1:], hdr.id)
-
-				if !s.admit(ctx) {
-					s.shed.Inc()
-					_ = write(idBuf[:], []byte{statusOverloaded})
-					return
-				}
-				result, herr := s.dispatch(ctx, hdr, args)
-				s.release()
-
-				if herr != nil {
-					s.errored.Inc()
-					_ = write(idBuf[:], []byte{statusError}, []byte(herr.Error()))
-					return
-				}
-				if hdr.flags&flagAcceptCompressed != 0 && len(result) >= DefaultCompressThreshold {
-					if small, ok := compress(result); ok {
-						_ = write(idBuf[:], []byte{statusOKCompressed}, small)
-						return
-					}
-				}
-				_ = write(idBuf[:], []byte{statusOK}, result)
-			}(hdr, args)
+				s.handleRequest(ctx, cw, hdr, args)
+			}(ctx, hdr, args, fb)
 
 		case frameCancel:
-			if len(payload) < 8 {
-				continue
+			if len(payload) >= 8 {
+				id := getUint64(payload)
+				if c, ok := inflight.Load(id); ok {
+					c.(context.CancelFunc)()
+				}
 			}
-			id := getUint64(payload)
-			if c, ok := inflight.Load(id); ok {
-				c.(context.CancelFunc)()
-			}
+			putFrame(fb)
 
 		case framePing:
-			_ = write([]byte{framePong}, payload)
+			_ = cw.write([]byte{framePong}, payload)
+			putFrame(fb)
 
-		case framePong:
-			// Servers do not send pings; ignore.
+		default:
+			// Servers do not send pings, so pongs (and unknown types) are
+			// ignored.
+			putFrame(fb)
 		}
 	}
 }
 
+// handleRequest runs one request to completion: admission, dispatch, and
+// response write. It runs on a per-request goroutine; args aliases the
+// pooled request frame, which the caller returns to the pool afterwards.
+func (s *Server) handleRequest(ctx context.Context, cw *connWriter, hdr header, args []byte) {
+	if hdr.flags&flagPayloadCompressed != 0 {
+		inflated, err := decompress(args)
+		if err != nil {
+			return // corrupt payload; drop like other malformed frames
+		}
+		args = inflated
+	}
+
+	if !s.admit(ctx) {
+		s.shed.Inc()
+		_ = cw.respond(hdr.id, statusOverloaded, nil)
+		return
+	}
+	result, framed, owner, herr := s.dispatch(ctx, hdr, args)
+	s.release()
+
+	if herr != nil {
+		if owner != nil {
+			owner.Release()
+		}
+		s.errored.Inc()
+		_ = cw.respond(hdr.id, statusError, []byte(herr.Error()))
+		return
+	}
+	payload := result
+	if framed {
+		payload = result[ResponseHeadroom:]
+	}
+	if hdr.flags&flagAcceptCompressed != 0 && len(payload) >= DefaultCompressThreshold {
+		if small, ok := compress(payload); ok {
+			if owner != nil {
+				owner.Release()
+			}
+			_ = cw.respond(hdr.id, statusOKCompressed, small)
+			return
+		}
+	}
+	if framed {
+		_ = cw.respondFramed(hdr.id, statusOK, result)
+		if owner != nil {
+			owner.Release()
+		}
+		return
+	}
+	_ = cw.respond(hdr.id, statusOK, result)
+}
+
+// connWriter serializes response writes on one server connection and
+// counts tx bytes only for writes that succeed.
+type connWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+	tx *metrics.Counter
+}
+
+// write frames and writes arbitrary chunks (pings/pongs).
+func (cw *connWriter) write(chunks ...[]byte) error {
+	var n int
+	for _, c := range chunks {
+		n += len(c)
+	}
+	cw.mu.Lock()
+	err := writeFrame(cw.w, chunks...)
+	cw.mu.Unlock()
+	if err == nil {
+		cw.tx.Add(uint64(n))
+	}
+	return err
+}
+
+// respond assembles a response frame (type, id, status, payload) in pooled
+// scratch and writes it with a single Write.
+func (cw *connWriter) respond(id uint64, status byte, payload []byte) error {
+	n := 1 + 8 + 1 + len(payload)
+	if n > maxFrameSize {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	fb := getFrame()
+	buf := append(fb.b[:0], 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(buf, uint32(n))
+	buf = append(buf, frameResponse)
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	buf = append(buf, status)
+	buf = append(buf, payload...)
+	cw.mu.Lock()
+	_, err := cw.w.Write(buf)
+	cw.mu.Unlock()
+	fb.b = buf
+	putFrame(fb)
+	if err == nil {
+		cw.tx.Add(uint64(n))
+	}
+	return err
+}
+
+// respondFramed fills the ResponseHeadroom scratch at the front of framed
+// in place and writes the buffer with a single Write — the zero-copy path
+// for pooled handler results.
+func (cw *connWriter) respondFramed(id uint64, status byte, framed []byte) error {
+	n := len(framed) - 4
+	if n > maxFrameSize {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	binary.LittleEndian.PutUint32(framed[0:4], uint32(n))
+	framed[4] = frameResponse
+	binary.LittleEndian.PutUint64(framed[5:13], id)
+	framed[13] = status
+	cw.mu.Lock()
+	_, err := cw.w.Write(framed)
+	cw.mu.Unlock()
+	if err == nil {
+		cw.tx.Add(uint64(n))
+	}
+	return err
+}
+
 // dispatch runs the handler for hdr.method, converting panics into errors
-// so one bad request cannot take down the proclet.
-func (s *Server) dispatch(ctx context.Context, hdr header, args []byte) (result []byte, err error) {
+// so one bad request cannot take down the proclet. For framed handlers it
+// reports framed=true: result then carries ResponseHeadroom scratch ahead
+// of the payload, and owner (when non-nil) must be released once the
+// result bytes are no longer referenced.
+func (s *Server) dispatch(ctx context.Context, hdr header, args []byte) (result []byte, framed bool, owner BufOwner, err error) {
 	s.mu.Lock()
 	h, ok := s.handlers[hdr.method]
 	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("rpc: unknown method %#x", hdr.method)
+		return nil, false, nil, fmt.Errorf("rpc: unknown method %#x", hdr.method)
 	}
 	defer func() {
 		if r := recover(); r != nil {
+			result, framed, owner = nil, false, nil
 			err = fmt.Errorf("rpc: handler %s panicked: %v\n%s", h.name, r, debug.Stack())
 		}
 	}()
@@ -389,7 +515,7 @@ func (s *Server) dispatch(ctx context.Context, hdr header, args []byte) (result 
 		ctx = tracing.ContextWith(ctx, info.Trace)
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, false, nil, err
 	}
 	if d := time.Duration(s.delayNanos.Load()); d > 0 {
 		timer := time.NewTimer(d)
@@ -397,10 +523,15 @@ func (s *Server) dispatch(ctx context.Context, hdr header, args []byte) (result 
 		select {
 		case <-timer.C:
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, false, nil, ctx.Err()
 		}
 	}
-	return h.fn(ctx, args)
+	if h.ffn != nil {
+		result, owner, err = h.ffn(ctx, args)
+		return result, err == nil, owner, err
+	}
+	result, err = h.fn(ctx, args)
+	return result, false, nil, err
 }
 
 // ErrShutdown is returned for calls attempted on a closed client.

@@ -25,6 +25,8 @@ bench:
 	go test -run xxx -bench . -benchtime 1x .
 
 # bench-json runs the data-plane microbenchmarks and records them as
-# machine-readable JSON in BENCH_rpc.json (EXPERIMENTS.md A9).
+# machine-readable JSON in BENCH_rpc.json (EXPERIMENTS.md A9), and the
+# placement planner benchmark in BENCH_placement.json (EXPERIMENTS.md A6/A10).
 bench-json:
 	go test -run xxx -bench 'BenchmarkTransport|BenchmarkCall' -benchmem ./internal/rpc . | go run ./cmd/benchjson -out BENCH_rpc.json
+	go test -run xxx -bench 'BenchmarkPlacement' -benchmem . | go run ./cmd/benchjson -out BENCH_placement.json

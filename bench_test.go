@@ -677,8 +677,7 @@ func BenchmarkPlacement(b *testing.B) {
 	b.ReportAllocs()
 	var score float64
 	for i := 0; i < b.N; i++ {
-		plan := placement.Plan(g, placement.Config{MaxGroupSize: 4})
-		score = placement.Score(g, plan)
+		score = placement.Evaluate(g, placement.Config{MaxGroupSize: 4}).Score
 	}
 	b.ReportMetric(score, "locality")
 }

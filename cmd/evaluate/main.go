@@ -416,10 +416,10 @@ func placementExperiment() {
 		fmt.Printf("  %-18s <-> %-18s %7d calls\n", shortName(p.A), shortName(p.B), p.Calls)
 	}
 
-	plan := placement.Plan(graph, placement.Config{MaxGroupSize: 4})
+	ev := placement.Evaluate(graph, placement.Config{MaxGroupSize: 4})
 	fmt.Println("planned groups (cap 4 components/group):")
 	groups := map[string]string{}
-	for name, comps := range plan {
+	for name, comps := range ev.Plan {
 		var shorts []string
 		for _, c := range comps {
 			shorts = append(shorts, shortName(c))
@@ -427,7 +427,7 @@ func placementExperiment() {
 		}
 		fmt.Printf("  %-4s [%s]\n", name, strings.Join(shorts, ", "))
 	}
-	fmt.Printf("plan locality score: %.0f%% of calls become local\n", 100*placement.Score(graph, plan))
+	fmt.Printf("plan locality score: %.0f%% of calls become local\n", 100*ev.Score)
 
 	// Compare simulated cost: no colocation vs the planned grouping.
 	none := simcloud.RunBoutique(simcloud.BoutiqueOptions{QPS: 2000, Costs: simcloud.WeaverCosts, Seed: 5, WarmupSeconds: 60, MeasureSeconds: 40})

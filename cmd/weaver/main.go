@@ -165,6 +165,7 @@ func multiRun(args []string) {
 	dashAddr := fs.String("dashboard", "", `serve the deployment dashboard on this address (e.g. "127.0.0.1:8900")`)
 	maxInflight := fs.Int("max-inflight", 0, "per-replica data-plane admission limit (0 = unlimited)")
 	maxQueue := fs.Int("max-queue", 0, "per-replica admission wait-queue depth beyond -max-inflight")
+	replaceEvery := fs.Duration("replace", 0, "live re-placement planning interval (0 = off), e.g. 10s")
 	_ = fs.Parse(args)
 	if fs.NArg() < 1 {
 		usage()
@@ -212,6 +213,7 @@ func multiRun(args []string) {
 		},
 		MaxInflightPerReplica: *maxInflight,
 		MaxOverloadQueue:      *maxQueue,
+		PlacementInterval:     *replaceEvery,
 		Logger:                logger,
 	}
 

@@ -64,6 +64,9 @@ func main() {
 			Seed:     42,
 		})
 		fmt.Printf("boutique: %s\n", report)
+		if report.LastErr != "" {
+			fmt.Printf("  last error: %s\n", report.LastErr)
+		}
 		for op, n := range report.PerOp {
 			fmt.Printf("  %-14s %d\n", op, n)
 		}

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/callgraph"
@@ -74,6 +75,17 @@ type Runtime struct {
 	comps map[string]*comp
 }
 
+// connState pins one resolution of a component's call path: either a local
+// implementation (direct method dispatch) or a remote data-plane conn.
+// Exactly one of impl and remote is non-nil. States are immutable; the
+// resolver swaps the whole pointer, so a call that loaded a state completes
+// on the connection it started with even if the component moves mid-call.
+type connState struct {
+	impl    any          // non-nil: callee is colocated, dispatch directly
+	remote  codegen.Conn // non-nil: callee is elsewhere, cross the data plane
+	version uint64       // routing epoch that installed this state (0 = initial)
+}
+
 // comp tracks one component's state within this process.
 type comp struct {
 	reg      *codegen.Registration
@@ -82,6 +94,16 @@ type comp struct {
 	initing  bool           // cycle detection
 	initErr  error
 	initDone bool
+
+	// route is the swappable resolver behind every stub handed out for
+	// this component. Stubs load it per call; PromoteLocal and DemoteLocal
+	// swap it when the manager moves the component at runtime, so local
+	// vs. remote is no longer frozen at Get time.
+	route   atomic.Pointer[connState]
+	routeMu sync.Mutex // serializes swaps (and the blocking work behind them)
+	// remoteConn caches the data-plane conn across local/remote flips, so
+	// moving a component away and back does not rebuild TCP state.
+	remoteConn codegen.Conn
 }
 
 // NewRuntime returns a runtime over all registered components.
@@ -198,38 +220,24 @@ func (r *Runtime) getClient(ctx context.Context, name, caller string) (any, erro
 	r.mu.Unlock()
 
 	var client any
-	if r.hosted(name) {
+	if r.opts.FastLocal && r.hosted(name) {
+		// Static fast path for single-process deployments: the raw
+		// implementation with zero interposition. Incompatible with live
+		// re-placement by construction — there is no stub to re-resolve.
 		if err := r.initLocal(ctx, c); err != nil {
 			return nil, err
 		}
-		if r.opts.FastLocal {
-			client = c.impl
-		} else {
-			conn := &measuredConn{
-				runtime: r,
-				caller:  caller,
-				callee:  c.reg.Name,
-				inner:   localConn{impl: c.impl},
-				remote:  false,
-			}
-			client = c.reg.ClientStub(conn)
-		}
+		client = c.impl
 	} else {
-		if r.opts.RemoteConn == nil {
-			return nil, fmt.Errorf("core: component %q is remote but no RemoteConn is configured", name)
-		}
-		inner, err := r.opts.RemoteConn(c.reg)
-		if err != nil {
+		if err := r.ensureRoute(ctx, c); err != nil {
 			return nil, err
 		}
-		conn := &measuredConn{
+		client = c.reg.ClientStub(&measuredConn{
 			runtime: r,
 			caller:  caller,
 			callee:  c.reg.Name,
-			inner:   inner,
-			remote:  true,
-		}
-		client = c.reg.ClientStub(conn)
+			comp:    c,
+		})
 	}
 
 	r.mu.Lock()
@@ -239,6 +247,126 @@ func (r *Runtime) getClient(ctx context.Context, name, caller string) (any, erro
 	}
 	c.clients[caller] = client
 	return client, nil
+}
+
+// ensureRoute installs c's initial route (local or remote, per the
+// deployer's Hosted policy) if none exists yet. initLocal runs outside
+// routeMu: filling a component resolves its dependencies, which re-enters
+// route resolution — on a dependency cycle that comes back to c itself, and
+// must hit initLocal's cycle detector rather than deadlock on routeMu.
+func (r *Runtime) ensureRoute(ctx context.Context, c *comp) error {
+	if c.route.Load() != nil {
+		return nil
+	}
+	if r.hosted(c.reg.Name) {
+		if err := r.initLocal(ctx, c); err != nil {
+			return err
+		}
+		c.routeMu.Lock()
+		defer c.routeMu.Unlock()
+		if c.route.Load() == nil {
+			c.route.Store(&connState{impl: c.impl})
+		}
+		return nil
+	}
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	if c.route.Load() != nil {
+		return nil
+	}
+	conn, err := r.remoteForLocked(c)
+	if err != nil {
+		return err
+	}
+	c.route.Store(&connState{remote: conn})
+	return nil
+}
+
+// remoteForLocked returns (building and caching if necessary) c's
+// data-plane conn. Caller holds c.routeMu; the build may block waiting for
+// routing info, which is why routeMu — not r.mu — guards it.
+func (r *Runtime) remoteForLocked(c *comp) (codegen.Conn, error) {
+	if c.remoteConn != nil {
+		return c.remoteConn, nil
+	}
+	if r.opts.RemoteConn == nil {
+		return nil, fmt.Errorf("core: component %q is remote but no RemoteConn is configured", c.reg.Name)
+	}
+	conn, err := r.opts.RemoteConn(c.reg)
+	if err != nil {
+		return nil, err
+	}
+	c.remoteConn = conn
+	return conn, nil
+}
+
+// PromoteLocal flips a component's call path to direct local dispatch: the
+// callee has become colocated with this process (live re-placement, the
+// dynamic form of FastLocal). version is the routing epoch of the placement
+// decision; a promotion older than the currently installed epoch is ignored
+// (version 0 always applies — the initial assignment). Stubs handed out
+// earlier pick up the flip on their next call; calls already in flight
+// finish on the connection they started with.
+func (r *Runtime) PromoteLocal(ctx context.Context, name string, version uint64) error {
+	c := r.comp(name)
+	if c == nil {
+		return fmt.Errorf("core: unknown component %q", name)
+	}
+	// Init outside routeMu: dependency resolution may re-enter route
+	// resolution for this very component (see ensureRoute).
+	if err := r.initLocal(ctx, c); err != nil {
+		return err
+	}
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	cur := c.route.Load()
+	if cur != nil && version != 0 && version <= cur.version {
+		return nil // stale flip
+	}
+	c.route.Store(&connState{impl: c.impl, version: version})
+	return nil
+}
+
+// DemoteLocal flips a component's call path back to the data plane: the
+// callee moved to another group. The same version fencing as PromoteLocal
+// applies. If no stub for the component was ever resolved here, there is
+// nothing to flip and DemoteLocal is a no-op. The local implementation is
+// not shut down — in-flight local calls may still be executing on it.
+func (r *Runtime) DemoteLocal(name string, version uint64) error {
+	c := r.comp(name)
+	if c == nil {
+		return fmt.Errorf("core: unknown component %q", name)
+	}
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	cur := c.route.Load()
+	if cur == nil {
+		return nil // no callers in this process
+	}
+	if version != 0 && version <= cur.version {
+		return nil // stale flip
+	}
+	conn, err := r.remoteForLocked(c)
+	if err != nil {
+		return err
+	}
+	c.route.Store(&connState{remote: conn, version: version})
+	return nil
+}
+
+// RouteVersion returns the routing epoch of a component's installed route
+// and whether the route is currently local. Tests use it to assert that
+// observed placement flips are monotonic.
+func (r *Runtime) RouteVersion(name string) (version uint64, local bool) {
+	c := r.comp(name)
+	if c == nil {
+		return 0, false
+	}
+	st := c.route.Load()
+	if st == nil {
+		return 0, false
+	}
+	return st.version, st.impl != nil
 }
 
 // initLocal allocates, fills, and initializes a hosted component exactly
@@ -291,32 +419,29 @@ func (r *Runtime) buildImpl(ctx context.Context, c *comp) error {
 	return nil
 }
 
-// localConn invokes methods directly on an in-process implementation.
-type localConn struct {
-	impl any
-}
-
-// Invoke implements codegen.Conn.
-func (l localConn) Invoke(ctx context.Context, component string, m *codegen.MethodSpec, args, res any, shard uint64, hasShard bool) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	m.Do(ctx, l.impl, args, res)
-	return nil
-}
-
-// measuredConn wraps a Conn with metrics, call-graph, and trace recording.
+// measuredConn is the conn behind every stub: it resolves the component's
+// current route on each call (so a callee that moves between groups flips
+// between direct dispatch and the data plane without re-resolving the
+// stub) and records metrics, call-graph edges, and trace spans.
 type measuredConn struct {
 	runtime *Runtime
 	caller  string
 	callee  string
-	inner   codegen.Conn
-	remote  bool
+	comp    *comp
 }
 
 // Invoke implements codegen.Conn.
 func (mc *measuredConn) Invoke(ctx context.Context, component string, m *codegen.MethodSpec, args, res any, shard uint64, hasShard bool) error {
 	r := mc.runtime
+
+	// Load the route once: the whole call — dispatch and accounting —
+	// uses the connection state it started with, even if a re-placement
+	// swaps the route mid-flight.
+	st := mc.comp.route.Load()
+	if st == nil {
+		return fmt.Errorf("core: component %q has no route", mc.callee)
+	}
+	remote := st.impl == nil
 
 	// Establish the span for this call. A fresh trace is started at
 	// entry points (no inbound context).
@@ -332,15 +457,20 @@ func (mc *measuredConn) Invoke(ctx context.Context, component string, m *codegen
 	}
 
 	start := time.Now()
-	err := mc.inner.Invoke(ctx, component, m, args, res, shard, hasShard)
+	var err error
+	if remote {
+		err = st.remote.Invoke(ctx, component, m, args, res, shard, hasShard)
+	} else if err = ctx.Err(); err == nil {
+		m.Do(ctx, st.impl, args, res)
+	}
 	elapsed := time.Since(start)
 
 	if r.opts.Graph != nil {
-		r.opts.Graph.Record(mc.caller, mc.callee, m.Name, elapsed, 0, mc.remote, err != nil)
+		r.opts.Graph.Record(mc.caller, mc.callee, m.Name, elapsed, 0, remote, err != nil)
 	}
 	short := ShortName(mc.callee)
 	r.opts.Metrics.Counter("component.calls." + short + "." + m.Name).Inc()
-	if !mc.remote {
+	if !remote {
 		// Local calls are served by this process; count them toward its
 		// load so the autoscaler sees colocated traffic too.
 		r.opts.Metrics.Counter("component.served." + short).Inc()
@@ -360,7 +490,7 @@ func (mc *measuredConn) Invoke(ctx context.Context, component string, m *codegen
 			Caller:     mc.caller,
 			StartNanos: start.UnixNano(),
 			EndNanos:   start.Add(elapsed).UnixNano(),
-			Remote:     mc.remote,
+			Remote:     remote,
 		}
 		if err != nil {
 			span.Err = err.Error()

@@ -51,6 +51,7 @@ type DataPlaneConn struct {
 	mHedges    *metrics.Counter
 	mHedgeWins *metrics.Counter
 	mOverload  *metrics.Counter
+	mUnavail   *metrics.Counter
 }
 
 // ConnOptions configures a DataPlaneConn.
@@ -118,6 +119,7 @@ func NewDataPlaneConnWith(component string, balancer routing.Balancer, opts Conn
 		mHedges:    metrics.Default.Counter("core.dataplane.hedges"),
 		mHedgeWins: metrics.Default.Counter("core.dataplane.hedge_wins"),
 		mOverload:  metrics.Default.Counter("core.dataplane.overloaded"),
+		mUnavail:   metrics.Default.Counter("core.dataplane.unavailable"),
 	}
 	if !opts.DisableBreaker {
 		c.breakers = rpc.NewBreakerGroup(opts.Breaker)
@@ -211,6 +213,16 @@ func (c *DataPlaneConn) callOnce(ctx context.Context, addr string, method rpc.Me
 	}
 	if errors.Is(err, rpc.ErrOverloaded) {
 		c.mOverload.Inc()
+		if c.breakers != nil {
+			c.breakers.Report(addr, true)
+		}
+		return nil, err
+	}
+	if errors.Is(err, rpc.ErrUnavailable) {
+		// The replica is draining or no longer hosts the component (live
+		// re-placement). The request never executed; steer the breaker away
+		// and let the caller retry on a replica from the new epoch.
+		c.mUnavail.Inc()
 		if c.breakers != nil {
 			c.breakers.Report(addr, true)
 		}
@@ -424,7 +436,9 @@ func (c *DataPlaneConn) Invoke(ctx context.Context, component string, m *codegen
 			return uerr
 		}
 		lastErr = err
-		if errors.Is(err, rpc.ErrOverloaded) {
+		// Sheds and unavailable replies never executed server-side, so they
+		// share a budget separate from at-most-once execution attempts.
+		if errors.Is(err, rpc.ErrOverloaded) || errors.Is(err, rpc.ErrUnavailable) {
 			shedAttempts++
 			if shedAttempts >= shedBudget {
 				break
@@ -463,6 +477,11 @@ type latencyTracker struct {
 	n         int // total adds, capped contribution to ring
 	sinceCalc int
 	cached    time.Duration
+	// computed distinguishes "never recomputed" from a legitimately zero
+	// p99: a zero sentinel in cached would force a re-sort on every call
+	// whenever the true quantile rounds to 0.
+	computed bool
+	scratch  []time.Duration // reused across recomputes
 }
 
 func newLatencyTracker() *latencyTracker { return &latencyTracker{} }
@@ -476,20 +495,25 @@ func (t *latencyTracker) add(d time.Duration) {
 }
 
 // p99 returns the cached 99th percentile of recent latencies, or 0 when
-// fewer than hedgeMinSamples calls have completed.
+// fewer than hedgeMinSamples calls have completed. The quantile is
+// recomputed after every 32 inserts; between recomputes it is a field read.
 func (t *latencyTracker) p99() time.Duration {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.n < hedgeMinSamples {
 		return 0
 	}
-	if t.cached == 0 || t.sinceCalc >= 32 {
+	if !t.computed || t.sinceCalc >= 32 {
 		t.sinceCalc = 0
+		t.computed = true
 		size := t.n
 		if size > len(t.samples) {
 			size = len(t.samples)
 		}
-		tmp := make([]time.Duration, size)
+		if cap(t.scratch) < size {
+			t.scratch = make([]time.Duration, size)
+		}
+		tmp := t.scratch[:size]
 		copy(tmp, t.samples[:size])
 		sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
 		t.cached = tmp[(size*99)/100]
@@ -552,6 +576,23 @@ func HostComponents(ctx context.Context, r *Runtime, srv *rpc.Server, components
 				return enc.Framed(), enc, nil
 			})
 		}
+	}
+	return nil
+}
+
+// UnhostComponent removes the named component's method handlers from srv,
+// blocking until every in-flight call to them has drained (see
+// rpc.Server.Unregister). Later calls for these methods receive
+// rpc.ErrUnavailable, which clients treat as never-executed and retry on a
+// replica from the new placement. The component implementation itself is
+// not shut down; a re-host on this process reuses it.
+func UnhostComponent(srv *rpc.Server, component string) error {
+	reg, ok := codegen.Find(component)
+	if !ok {
+		return fmt.Errorf("core: unhosting unknown component %q", component)
+	}
+	for _, m := range reg.Methods {
+		srv.Unregister(reg.FullMethod(m.Name))
 	}
 	return nil
 }

@@ -3,11 +3,12 @@
 // Tools"). It serves the global manager's aggregated view of a running
 // deployment:
 //
-//	GET /status   groups, replicas, health, and load
-//	GET /graph    the component call graph in Graphviz dot
-//	GET /metrics  merged metrics across replicas, text exposition format
-//	GET /traces   slowest sampled traces with their critical paths
-//	GET /logs     recent aggregated log entries (?component= filters)
+//	GET /status     groups, replicas, health, and load
+//	GET /graph      the component call graph in Graphviz dot
+//	GET /metrics    merged metrics across replicas, text exposition format
+//	GET /traces     slowest sampled traces with their critical paths
+//	GET /logs       recent aggregated log entries (?component= filters)
+//	GET /placement  live re-placement: grouping, plan, scores, moves
 package dashboard
 
 import (
@@ -35,6 +36,7 @@ func Handler(m *manager.Manager) http.Handler {
 	mux.HandleFunc("/metrics", d.metrics)
 	mux.HandleFunc("/traces", d.traces)
 	mux.HandleFunc("/logs", d.logs)
+	mux.HandleFunc("/placement", d.placement)
 	// Profiling tools (Figure 3): the deployer process's own profiles.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -65,11 +67,12 @@ func (d *dash) index(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprint(w, `weaver deployment dashboard
-  /status   groups, replicas, health, load
-  /graph    component call graph (dot)
-  /metrics  merged metrics
-  /traces   slowest traces and critical paths
-  /logs     aggregated logs (?component=Name)
+  /status     groups, replicas, health, load
+  /graph      component call graph (dot)
+  /metrics    merged metrics
+  /traces     slowest traces and critical paths
+  /logs       aggregated logs (?component=Name)
+  /placement  live re-placement: grouping, plan, scores, moves
   /debug/pprof  deployer profiles
 `)
 }
@@ -158,6 +161,36 @@ func (d *dash) traces(w http.ResponseWriter, _ *http.Request) {
 				core.ShortName(s.Component), s.Method, s.Duration().Round(time.Microsecond), kind)
 		}
 		fmt.Fprintln(w)
+	}
+}
+
+func (d *dash) placement(w http.ResponseWriter, _ *http.Request) {
+	st := d.mgr.PlacementStatus()
+	writePlan := func(title string, plan map[string][]string, score float64) {
+		fmt.Fprintf(w, "%s (locality %.1f%%):\n", title, 100*score)
+		names := make([]string, 0, len(plan))
+		for name := range plan {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			shorts := make([]string, len(plan[name]))
+			for i, c := range plan[name] {
+				shorts[i] = core.ShortName(c)
+			}
+			sort.Strings(shorts)
+			fmt.Fprintf(w, "  %-16s [%s]\n", name, strings.Join(shorts, ","))
+		}
+	}
+	writePlan("current grouping", st.Current, st.CurrentScore)
+	fmt.Fprintln(w)
+	writePlan("recommended plan", st.Recommended, st.RecommendedScore)
+	fmt.Fprintf(w, "\nscored over %d observed calls\n", st.TotalCalls)
+
+	fmt.Fprintf(w, "\napplied moves (%d):\n", len(st.Moves))
+	for _, mv := range st.Moves {
+		fmt.Fprintf(w, "  %s  %-24s %s -> %s  (epoch %d)\n",
+			mv.When.Format(time.RFC3339), core.ShortName(mv.Component), mv.From, mv.To, mv.Version)
 	}
 }
 

@@ -98,6 +98,20 @@ func TestDashboardEndpoints(t *testing.T) {
 	}
 
 	_ = get(t, base+"/logs") // must not error
+
+	// Apply one live move so /placement has a non-empty move log.
+	if err := d.Manager.MoveComponent(ctx, "repro/internal/testpkg/Echo", "Chain"); err != nil {
+		t.Fatal(err)
+	}
+	placement := get(t, base+"/placement")
+	for _, want := range []string{"current grouping", "recommended plan", "applied moves (1)", "Echo -> Chain", "scored over"} {
+		if !strings.Contains(placement, want) {
+			t.Errorf("placement missing %q:\n%s", want, placement)
+		}
+	}
+	if !strings.Contains(get(t, base+"/"), "/placement") {
+		t.Error("index does not link /placement")
+	}
 }
 
 func firstLines(s string, n int) string {

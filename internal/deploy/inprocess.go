@@ -154,6 +154,20 @@ func (d *InProcess) RoutingReplicas(component string) int {
 	return d.main.RoutingReplicas(component)
 }
 
+// RouteVersion reports the routing epoch and locality (true = direct
+// in-process dispatch) of the main driver's installed route for a
+// component (see core.Runtime.RouteVersion). Tests use it to assert that
+// observed placement flips are monotonic.
+func (d *InProcess) RouteVersion(component string) (version uint64, local bool) {
+	return d.main.Runtime().RouteVersion(component)
+}
+
+// RoutingVersion reports the routing epoch the main driver has applied for
+// a component's data-plane route (0 before the first routing push).
+func (d *InProcess) RoutingVersion(component string) uint64 {
+	return d.main.RoutingVersion(component)
+}
+
 // Proclet returns the proclet for a replica id, if it is running.
 func (d *InProcess) Proclet(id string) (*proclet.Proclet, bool) {
 	d.mu.Lock()

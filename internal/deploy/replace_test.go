@@ -1,0 +1,231 @@
+package deploy
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/logging"
+	"repro/internal/manager"
+	"repro/internal/testpkg"
+)
+
+const moverName = "repro/internal/testpkg/Mover"
+
+// TestMoveComponentUnderLoad hammers a routed component while the manager
+// moves it between groups — including onto and off the driver process —
+// and proves the re-placement protocol's contract: no call is lost, no
+// call executes twice, and the routing epochs each client observes only
+// ever increase.
+func TestMoveComponentUnderLoad(t *testing.T) {
+	testpkg.ResetMoverCounts()
+	d := startDeployment(t, manager.Config{
+		App:    "test",
+		Logger: logging.New(logging.Options{Component: "manager", Min: logging.LevelError}),
+	})
+	ctx := context.Background()
+
+	mover, err := Get[testpkg.Mover](ctx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mover.Deliver(ctx, -1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Watch the driver's routing epochs for the component: the data-plane
+	// epoch and the core route epoch must both be monotonic.
+	var (
+		stopWatch   = make(chan struct{})
+		watchDone   = make(chan struct{})
+		violations  atomic.Int64
+		flipsSeen   atomic.Int64
+		lastDP      uint64
+		lastRoute   uint64
+		wasLocal    bool
+	)
+	go func() {
+		defer close(watchDone)
+		for {
+			select {
+			case <-stopWatch:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			if v := d.RoutingVersion(moverName); v < lastDP {
+				violations.Add(1)
+			} else {
+				lastDP = v
+			}
+			v, local := d.RouteVersion(moverName)
+			if v < lastRoute {
+				violations.Add(1)
+			} else {
+				if v > lastRoute || local != wasLocal {
+					flipsSeen.Add(1)
+				}
+				lastRoute = v
+				wasLocal = local
+			}
+		}
+	}()
+
+	// Load: several clients deliver strictly distinct sequence numbers and
+	// record every client-visible success.
+	var (
+		seq       atomic.Int64
+		sent      sync.Map // seq -> true, recorded only on success
+		loadErr   atomic.Value
+		stopLoad  = make(chan struct{})
+		loadGroup sync.WaitGroup
+	)
+	for w := 0; w < 4; w++ {
+		loadGroup.Add(1)
+		go func() {
+			defer loadGroup.Done()
+			for {
+				select {
+				case <-stopLoad:
+					return
+				default:
+				}
+				s := seq.Add(1)
+				if _, err := mover.Deliver(ctx, s); err != nil {
+					loadErr.Store(err)
+					return
+				}
+				sent.Store(s, true)
+			}
+		}()
+	}
+
+	// Three consecutive re-placements under load: into a fresh group, onto
+	// the driver process (local dispatch), and back off it.
+	for _, dest := range []string{"mv2", "main", "Mover"} {
+		if err := d.Manager.MoveComponent(ctx, moverName, dest); err != nil {
+			t.Fatalf("MoveComponent(%s): %v", dest, err)
+		}
+		if g, _ := d.Manager.GroupOf(moverName); g != dest {
+			t.Fatalf("after move, GroupOf = %q, want %q", g, dest)
+		}
+		// Keep load flowing on the new placement for a while.
+		time.Sleep(150 * time.Millisecond)
+	}
+
+	close(stopLoad)
+	loadGroup.Wait()
+	close(stopWatch)
+	<-watchDone
+
+	if err, ok := loadErr.Load().(error); ok {
+		t.Fatalf("client-visible error during re-placement: %v", err)
+	}
+	if n := violations.Load(); n > 0 {
+		t.Errorf("observed %d non-monotonic routing version transitions", n)
+	}
+	if flipsSeen.Load() == 0 {
+		t.Error("driver never observed a route flip; moves did not exercise the resolver")
+	}
+
+	// Exactly-once accounting: every client success executed exactly once.
+	counts := testpkg.MoverCounts()
+	var lost, dup int
+	sent.Range(func(k, _ any) bool {
+		switch n := counts[k.(int64)]; {
+		case n == 0:
+			lost++
+		case n > 1:
+			dup++
+		}
+		return true
+	})
+	for s, n := range counts {
+		if s >= 0 && n > 1 {
+			dup++
+		}
+	}
+	if lost > 0 || dup > 0 {
+		t.Fatalf("re-placement dropped %d and duplicated %d of %d calls", lost, dup, seq.Load())
+	}
+	if seq.Load() < 100 {
+		t.Fatalf("only %d calls issued; load too light to trust the test", seq.Load())
+	}
+}
+
+// TestScaleDownDrainsUnderLoad scales a group up under heavy load, then
+// lets the autoscaler shrink it while a client keeps calling: stopping
+// replicas must finish what they admitted and refuse the rest with a
+// retryable status, so the client sees zero failures.
+func TestScaleDownDrainsUnderLoad(t *testing.T) {
+	d := startDeployment(t, manager.Config{
+		App:           "test",
+		ScaleInterval: 100 * time.Millisecond,
+		Autoscale: map[string]autoscale.Config{
+			"Echo": {
+				MinReplicas:          1,
+				MaxReplicas:          3,
+				TargetLoadPerReplica: 50,
+				ScaleDownDelay:       300 * time.Millisecond,
+			},
+		},
+		Logger: logging.New(logging.Options{Component: "manager", Min: logging.LevelError}),
+	})
+	ctx := context.Background()
+	echo, err := Get[testpkg.Echo](ctx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var calls, failures atomic.Int64
+	stop := make(chan struct{})
+	slow := make(chan struct{}) // closed -> throttle to trigger scale-down
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				select {
+				case <-slow:
+					if w != 0 {
+						return // drop to a single light client
+					}
+					time.Sleep(60 * time.Millisecond)
+				default:
+				}
+				if _, err := echo.Echo(ctx, "x"); err != nil {
+					failures.Add(1)
+					t.Errorf("Echo failed: %v", err)
+					return
+				}
+				calls.Add(1)
+			}
+		}(w)
+	}
+
+	// Heavy phase: wait for the scale-up.
+	waitFor(t, 20*time.Second, func() bool { return d.Manager.ReplicaCount("Echo") >= 3 })
+	// Light phase: the autoscaler must shrink the group back down while
+	// the remaining client keeps succeeding.
+	close(slow)
+	waitFor(t, 20*time.Second, func() bool { return d.Manager.ReplicaCount("Echo") <= 1 })
+	// Keep calling on the shrunken fleet for a moment.
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d of %d calls failed during scale-down", n, calls.Load())
+	}
+	if calls.Load() == 0 {
+		t.Fatal("no calls issued")
+	}
+}

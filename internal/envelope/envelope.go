@@ -55,6 +55,12 @@ type Envelope struct {
 	registered pipe.RegisterReplica
 	hasInfo    bool
 
+	// Envelope-initiated requests (live re-placement): acks holds a reply
+	// channel per outstanding request ID. Envelope IDs are even, proclet
+	// IDs odd, so the two request streams never collide on the pipe.
+	acks   sync.Map // uint64 -> chan *pipe.Message
+	nextID atomic.Uint64
+
 	stopping atomic.Bool
 	done     chan struct{}
 }
@@ -201,6 +207,12 @@ func (e *Envelope) handle(m *pipe.Message) {
 	}
 
 	switch m.Kind {
+	case pipe.KindAck:
+		// Reply to an envelope-initiated request (Call).
+		if ch, ok := e.acks.Load(m.ID); ok {
+			ch.(chan *pipe.Message) <- m
+		}
+
 	case pipe.KindRegisterReplica:
 		if m.RegisterReplica == nil {
 			ack(nil, fmt.Errorf("malformed RegisterReplica"))
@@ -255,6 +267,56 @@ func (e *Envelope) SendHostComponents(components []string) error {
 // SendRoutingInfo pushes routing information for one component.
 func (e *Envelope) SendRoutingInfo(ri pipe.RoutingInfo) error {
 	return e.conn.Send(&pipe.Message{Kind: pipe.KindRoutingInfo, RoutingInfo: &ri})
+}
+
+// Call sends an envelope-initiated request down the pipe and waits for the
+// proclet's ack. The manager's re-placement protocol uses it for the
+// operations whose *completion* matters: hosting a component on a new
+// group, applying a routing epoch, and draining a stopped component.
+func (e *Envelope) Call(ctx context.Context, m *pipe.Message) error {
+	id := e.nextID.Add(1) << 1 // even, nonzero
+	m.ID = id
+	ch := make(chan *pipe.Message, 1)
+	e.acks.Store(id, ch)
+	defer e.acks.Delete(id)
+	if err := e.conn.Send(m); err != nil {
+		return err
+	}
+	select {
+	case reply := <-ch:
+		if reply.Err != "" {
+			return fmt.Errorf("envelope: proclet %s: %s", e.ID, reply.Err)
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-e.done:
+		return fmt.Errorf("envelope: proclet %s is gone", e.ID)
+	}
+}
+
+// CallHostComponents asks the proclet to host components (with the routing
+// epoch of the placement decision) and waits until their handlers serve.
+func (e *Envelope) CallHostComponents(ctx context.Context, components []string, version uint64) error {
+	return e.Call(ctx, &pipe.Message{
+		Kind:           pipe.KindHostComponents,
+		HostComponents: &pipe.HostComponents{Components: components, Version: version},
+	})
+}
+
+// CallRoutingInfo pushes routing information and waits until the proclet
+// has applied it.
+func (e *Envelope) CallRoutingInfo(ctx context.Context, ri pipe.RoutingInfo) error {
+	return e.Call(ctx, &pipe.Message{Kind: pipe.KindRoutingInfo, RoutingInfo: &ri})
+}
+
+// CallStopComponent asks the proclet to stop hosting a component and waits
+// until its in-flight calls have drained and its handlers are released.
+func (e *Envelope) CallStopComponent(ctx context.Context, component string, version uint64) error {
+	return e.Call(ctx, &pipe.Message{
+		Kind:          pipe.KindStopComponent,
+		StopComponent: &pipe.StopComponent{Component: component, Version: version},
+	})
 }
 
 // Stop asks the proclet to shut down gracefully, then — for subprocesses —

@@ -24,6 +24,7 @@ import (
 	"repro/internal/logging"
 	"repro/internal/metrics"
 	"repro/internal/pipe"
+	"repro/internal/placement"
 	"repro/internal/routing"
 	"repro/internal/tracing"
 )
@@ -81,6 +82,21 @@ type Config struct {
 	MaxInflightPerReplica int
 	MaxOverloadQueue      int
 
+	// PlacementInterval enables the live re-placement control loop: every
+	// interval the manager re-plans colocation from the merged call graph
+	// and, when the plan's locality score beats the running grouping by at
+	// least PlacementMinGain, moves components between groups at runtime.
+	// Zero disables the loop; MoveComponent remains available either way.
+	PlacementInterval time.Duration
+	// PlacementMinGain is the minimum locality-score improvement (absolute,
+	// in [0,1]) worth moving components for (default 0.05).
+	PlacementMinGain float64
+	// PlacementMinCalls is how many calls the merged graph must have seen
+	// before the loop trusts it enough to plan (default 100).
+	PlacementMinCalls uint64
+	// Placement bounds the plans the loop computes.
+	Placement placement.Config
+
 	Logger *logging.Logger
 }
 
@@ -107,7 +123,6 @@ type group struct {
 	routed     map[string]bool
 	replicas   map[string]*replica
 	as         *autoscale.Autoscaler
-	version    uint64
 	nextID     int
 	restarts   int
 	starting   int // replicas being started right now
@@ -124,7 +139,21 @@ type Manager struct {
 	groups    map[string]*group
 	compGroup map[string]string
 	envelopes map[*envelope.Envelope]bool
+	known     map[string]bool // component inventory
+	routedSet map[string]bool // routed components of the inventory
 	stopped   bool
+
+	// routeVersion is the global routing epoch: every routing broadcast
+	// and every re-placement step draws a fresh, strictly increasing value
+	// from it (under mu). Proclets and balancers discard anything older
+	// than what they have applied, so delayed or reordered pushes can
+	// never resurrect a superseded placement.
+	routeVersion uint64
+
+	// moveMu serializes re-placement moves; moves (under mu) records the
+	// applied ones.
+	moveMu sync.Mutex
+	moves  []MoveRecord
 
 	logs    *logging.Aggregator
 	graph   *callgraph.Collector
@@ -154,6 +183,12 @@ func New(cfg Config, starter Starter) (*Manager, error) {
 	if cfg.SlicesPerReplica <= 0 {
 		cfg.SlicesPerReplica = 4
 	}
+	if cfg.PlacementMinGain <= 0 {
+		cfg.PlacementMinGain = 0.05
+	}
+	if cfg.PlacementMinCalls == 0 {
+		cfg.PlacementMinCalls = 100
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
@@ -169,42 +204,13 @@ func New(cfg Config, starter Starter) (*Manager, error) {
 		metrics:   map[string][]metrics.Snapshot{},
 	}
 
-	routedSet := map[string]bool{}
-	known := map[string]bool{}
+	m.known = map[string]bool{}
+	m.routedSet = map[string]bool{}
 	for _, c := range cfg.Components {
-		known[c.Name] = true
+		m.known[c.Name] = true
 		if c.Routed {
-			routedSet[c.Name] = true
+			m.routedSet[c.Name] = true
 		}
-	}
-
-	addGroup := func(name string, components []string) error {
-		if _, dup := m.groups[name]; dup {
-			return fmt.Errorf("manager: duplicate group %q", name)
-		}
-		g := &group{
-			name:       name,
-			components: append([]string(nil), components...),
-			routed:     map[string]bool{},
-			replicas:   map[string]*replica{},
-		}
-		asCfg := cfg.DefaultAutoscale
-		if c, ok := cfg.Autoscale[name]; ok {
-			asCfg = c
-		}
-		g.as = autoscale.New(asCfg)
-		for _, c := range components {
-			if !known[c] {
-				return fmt.Errorf("manager: group %q lists unknown component %q", name, c)
-			}
-			if prev, taken := m.compGroup[c]; taken {
-				return fmt.Errorf("manager: component %q in groups %q and %q", c, prev, name)
-			}
-			m.compGroup[c] = name
-			g.routed[c] = routedSet[c]
-		}
-		m.groups[name] = g
-		return nil
 	}
 
 	// Explicit groups first, in sorted order for determinism.
@@ -214,13 +220,13 @@ func New(cfg Config, starter Starter) (*Manager, error) {
 	}
 	sort.Strings(groupNames)
 	for _, name := range groupNames {
-		if err := addGroup(name, cfg.Groups[name]); err != nil {
+		if err := m.addGroupLocked(name, cfg.Groups[name]); err != nil {
 			return nil, err
 		}
 	}
 	// The main group always exists.
 	if _, ok := m.groups["main"]; !ok {
-		if err := addGroup("main", nil); err != nil {
+		if err := m.addGroupLocked("main", nil); err != nil {
 			return nil, err
 		}
 	}
@@ -233,13 +239,48 @@ func New(cfg Config, starter Starter) (*Manager, error) {
 		if _, clash := m.groups[name]; clash {
 			name = strings.ReplaceAll(c.Name, "/", ".")
 		}
-		if err := addGroup(name, []string{c.Name}); err != nil {
+		if err := m.addGroupLocked(name, []string{c.Name}); err != nil {
 			return nil, err
 		}
 	}
 
 	go m.scaleLoop()
+	if cfg.PlacementInterval > 0 {
+		go m.placementLoop()
+	}
 	return m, nil
+}
+
+// addGroupLocked creates a colocation group. The caller holds m.mu (or, in
+// New, is the only goroutine with access). Re-placement uses it to create
+// destination groups recommended by the planner at runtime.
+func (m *Manager) addGroupLocked(name string, components []string) error {
+	if _, dup := m.groups[name]; dup {
+		return fmt.Errorf("manager: duplicate group %q", name)
+	}
+	g := &group{
+		name:       name,
+		components: append([]string(nil), components...),
+		routed:     map[string]bool{},
+		replicas:   map[string]*replica{},
+	}
+	asCfg := m.cfg.DefaultAutoscale
+	if c, ok := m.cfg.Autoscale[name]; ok {
+		asCfg = c
+	}
+	g.as = autoscale.New(asCfg)
+	for _, c := range components {
+		if !m.known[c] {
+			return fmt.Errorf("manager: group %q lists unknown component %q", name, c)
+		}
+		if prev, taken := m.compGroup[c]; taken {
+			return fmt.Errorf("manager: component %q in groups %q and %q", c, prev, name)
+		}
+		m.compGroup[c] = name
+		g.routed[c] = m.routedSet[c]
+	}
+	m.groups[name] = g
+	return nil
 }
 
 // GroupOf returns the colocation group hosting a component.
@@ -491,8 +532,15 @@ func (m *Manager) ReplicaExited(e *envelope.Envelope, exitErr error) {
 
 // --- routing ---
 
-// routingInfoLocked builds the RoutingInfo messages for g's components.
-func (m *Manager) routingInfoLocked(g *group) []pipe.RoutingInfo {
+// nextEpochLocked draws a fresh global routing epoch. Caller holds m.mu.
+func (m *Manager) nextEpochLocked() uint64 {
+	m.routeVersion++
+	return m.routeVersion
+}
+
+// readyAddrsLocked returns the sorted data-plane addresses of g's routable
+// replicas. Caller holds m.mu.
+func readyAddrsLocked(g *group) []string {
 	var addrs []string
 	for _, r := range g.replicas {
 		if r.ready && r.healthy && !r.stopping {
@@ -500,16 +548,23 @@ func (m *Manager) routingInfoLocked(g *group) []pipe.RoutingInfo {
 		}
 	}
 	sort.Strings(addrs)
-	g.version++
+	return addrs
+}
+
+// routingInfoLocked builds the RoutingInfo messages for g's components,
+// stamped with a fresh global epoch.
+func (m *Manager) routingInfoLocked(g *group) []pipe.RoutingInfo {
+	addrs := readyAddrsLocked(g)
+	v := m.nextEpochLocked()
 	out := make([]pipe.RoutingInfo, 0, len(g.components))
 	for _, c := range g.components {
 		ri := pipe.RoutingInfo{
 			Component: c,
 			Replicas:  addrs,
-			Version:   g.version,
+			Version:   v,
 		}
 		if g.routed[c] && len(addrs) > 0 {
-			a := routing.EqualSlices(g.version, addrs, m.cfg.SlicesPerReplica)
+			a := routing.EqualSlices(v, addrs, m.cfg.SlicesPerReplica)
 			ri.Assignment = &a
 		}
 		out = append(out, ri)

@@ -1,0 +1,356 @@
+package manager
+
+// This file implements live re-placement: the manager periodically
+// re-plans colocation from the observed call graph and applies the plan to
+// the running deployment by moving components between groups, without
+// dropping or duplicating calls. See DESIGN.md §10 for the protocol.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/envelope"
+	"repro/internal/pipe"
+	"repro/internal/placement"
+	"repro/internal/routing"
+)
+
+// A MoveRecord describes one applied re-placement move.
+type MoveRecord struct {
+	Component string
+	From, To  string
+	// Version is the routing epoch that flipped ownership to To.
+	Version uint64
+	When    time.Time
+}
+
+// PlacementStatus is a snapshot of the live re-placement state: what runs
+// where, what the planner currently recommends, and what has been moved.
+type PlacementStatus struct {
+	// Current maps running group names to their components, and
+	// CurrentScore is the fraction of observed calls it makes local.
+	Current      map[string][]string
+	CurrentScore float64
+	// Recommended is the planner's latest plan for the same call graph.
+	Recommended      map[string][]string
+	RecommendedScore float64
+	// TotalCalls is the call volume the scores are computed over.
+	TotalCalls uint64
+	// Moves lists applied moves, oldest first.
+	Moves []MoveRecord
+}
+
+// grouping snapshots the current group -> components map.
+func (m *Manager) grouping() map[string][]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string][]string, len(m.groups))
+	for name, g := range m.groups {
+		out[name] = append([]string(nil), g.components...)
+	}
+	return out
+}
+
+// PlacementStatus computes the current placement snapshot.
+func (m *Manager) PlacementStatus() PlacementStatus {
+	g := m.graph.Analyze()
+	var total uint64
+	for _, e := range g.Edges {
+		if e.Caller != "" {
+			total += e.Calls
+		}
+	}
+	current := m.grouping()
+	ev := placement.Evaluate(g, m.cfg.Placement)
+	return PlacementStatus{
+		Current:          current,
+		CurrentScore:     placement.Score(g, current),
+		Recommended:      ev.Plan,
+		RecommendedScore: ev.Score,
+		TotalCalls:       total,
+		Moves:            m.Moves(),
+	}
+}
+
+// Moves returns the applied re-placement moves, oldest first.
+func (m *Manager) Moves() []MoveRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]MoveRecord(nil), m.moves...)
+}
+
+// placementLoop periodically re-plans and applies beneficial plans.
+func (m *Manager) placementLoop() {
+	ticker := time.NewTicker(m.cfg.PlacementInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := m.placementOnce(m.ctx); err != nil {
+				m.cfg.Logger.Error("re-placement", err)
+			}
+		case <-m.ctx.Done():
+			return
+		}
+	}
+}
+
+// placementOnce runs one iteration of the control loop: plan, compare
+// against the running grouping, and move components if the gain clears the
+// threshold. Components of the "main" group — the driver process — are
+// never moved automatically in either direction.
+func (m *Manager) placementOnce(ctx context.Context) error {
+	g := m.graph.Analyze()
+	var total uint64
+	for _, e := range g.Edges {
+		if e.Caller != "" {
+			total += e.Calls
+		}
+	}
+	if total < m.cfg.PlacementMinCalls {
+		return nil // not enough signal yet
+	}
+	current := m.grouping()
+	ev := placement.Evaluate(g, m.cfg.Placement)
+	cur := placement.Score(g, current)
+	if ev.Score-cur < m.cfg.PlacementMinGain {
+		return nil // running grouping is good enough
+	}
+	moves := placement.Diff(current, ev.Plan)
+	for _, mv := range moves {
+		if mv.From == "main" || mv.To == "main" {
+			continue
+		}
+		if err := m.MoveComponent(ctx, mv.Component, mv.To); err != nil {
+			return fmt.Errorf("moving %s from %s to %s: %w", mv.Component, mv.From, mv.To, err)
+		}
+	}
+	return nil
+}
+
+// moveStepTimeout bounds each acked step of a move, and moveReadyTimeout
+// bounds waiting for the destination group's first ready replica.
+const (
+	moveStepTimeout  = 10 * time.Second
+	moveReadyTimeout = 20 * time.Second
+)
+
+// MoveComponent relocates a component to another colocation group at
+// runtime, drain-safely:
+//
+//  1. Ensure the destination group exists and runs a ready replica.
+//  2. Host the component on every destination replica and wait until its
+//     handlers serve (epoch vHost).
+//  3. Under the manager lock, flip ownership in the group tables and stamp
+//     a fresh epoch vFlip; broadcast the component's new routing to every
+//     proclet and wait for all acks. From each proclet's ack on, its new
+//     calls target the destination; calls already in flight complete where
+//     they started.
+//  4. Re-push hosting to destination replicas that registered mid-move.
+//  5. Tell the old hosts to stop the component: each demotes its local
+//     route, unregisters the handlers, and acks once in-flight calls have
+//     drained. Stragglers that still reach the old hosts are refused with
+//     a retryable never-executed status.
+//
+// Every step draws a strictly increasing epoch, so a step replayed late
+// (after an ack timeout) is fenced out by whatever superseded it. Moves
+// are serialized; concurrent calls queue.
+func (m *Manager) MoveComponent(ctx context.Context, component, dest string) error {
+	m.moveMu.Lock()
+	defer m.moveMu.Unlock()
+
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return fmt.Errorf("manager: stopped")
+	}
+	src, ok := m.compGroup[component]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("manager: unknown component %q", component)
+	}
+	if src == dest {
+		m.mu.Unlock()
+		return nil
+	}
+	srcG := m.groups[src]
+	dstG := m.groups[dest]
+	if dstG == nil {
+		if err := m.addGroupLocked(dest, nil); err != nil {
+			m.mu.Unlock()
+			return err
+		}
+		dstG = m.groups[dest]
+	}
+	routed := srcG.routed[component]
+	m.mu.Unlock()
+
+	// Step 1: a ready destination replica.
+	min := dstG.as.Config().MinReplicas
+	if min < 1 {
+		min = 1
+	}
+	if err := m.StartGroup(ctx, dest, min); err != nil {
+		return err
+	}
+	if err := m.waitGroupReady(ctx, dstG); err != nil {
+		return err
+	}
+
+	// Step 2: host on the destination.
+	m.mu.Lock()
+	vHost := m.nextEpochLocked()
+	comps := append(append([]string(nil), dstG.components...), component)
+	hosted := m.readyEnvelopesLocked(dstG)
+	m.mu.Unlock()
+	hostOn := func(envs []*envelope.Envelope, v uint64) error {
+		return m.forEachEnvelope(ctx, envs, func(sctx context.Context, e *envelope.Envelope) error {
+			return e.CallHostComponents(sctx, comps, v)
+		})
+	}
+	if err := hostOn(hosted, vHost); err != nil {
+		return fmt.Errorf("manager: hosting %s on %s: %w", component, dest, err)
+	}
+
+	// Step 3: flip ownership + routing under one epoch, broadcast, await
+	// all acks.
+	m.mu.Lock()
+	srcG.components = removeString(srcG.components, component)
+	delete(srcG.routed, component)
+	dstG.components = append(dstG.components, component)
+	sort.Strings(dstG.components)
+	dstG.routed[component] = routed
+	m.compGroup[component] = dest
+	vFlip := m.nextEpochLocked()
+	addrs := readyAddrsLocked(dstG)
+	ri := pipe.RoutingInfo{Component: component, Replicas: addrs, Version: vFlip}
+	if routed && len(addrs) > 0 {
+		a := routing.EqualSlices(vFlip, addrs, m.cfg.SlicesPerReplica)
+		ri.Assignment = &a
+	}
+	all := make([]*envelope.Envelope, 0, len(m.envelopes))
+	for e := range m.envelopes {
+		all = append(all, e)
+	}
+	srcReps := m.readyEnvelopesLocked(srcG)
+	m.mu.Unlock()
+	if err := m.forEachEnvelope(ctx, all, func(sctx context.Context, e *envelope.Envelope) error {
+		return e.CallRoutingInfo(sctx, ri)
+	}); err != nil {
+		// Ownership already flipped; leave the old hosts serving as a
+		// safety net for whoever missed the ack and report the failure.
+		return fmt.Errorf("manager: broadcasting routing for %s: %w", component, err)
+	}
+
+	// Step 4: destination replicas that registered between steps 2 and 3
+	// fetched their hosting list before the flip; re-push so they host the
+	// component too (idempotent on the others).
+	m.mu.Lock()
+	vHost2 := m.nextEpochLocked()
+	late := m.readyEnvelopesLocked(dstG)
+	m.mu.Unlock()
+	if len(late) > len(hosted) {
+		if err := hostOn(late, vHost2); err != nil {
+			return fmt.Errorf("manager: re-hosting %s on %s: %w", component, dest, err)
+		}
+	}
+
+	// Step 5: drain and release on the old hosts.
+	if err := m.forEachEnvelope(ctx, srcReps, func(sctx context.Context, e *envelope.Envelope) error {
+		return e.CallStopComponent(sctx, component, vFlip)
+	}); err != nil {
+		return fmt.Errorf("manager: draining %s on %s: %w", component, src, err)
+	}
+
+	rec := MoveRecord{Component: component, From: src, To: dest, Version: vFlip, When: time.Now()}
+	m.mu.Lock()
+	m.moves = append(m.moves, rec)
+	if len(m.moves) > 256 {
+		m.moves = m.moves[len(m.moves)-256:]
+	}
+	m.mu.Unlock()
+	m.cfg.Logger.Info("component moved", "component", component, "from", src, "to", dest, "epoch", fmt.Sprint(vFlip))
+	return nil
+}
+
+// waitGroupReady blocks until g has at least one routable replica.
+func (m *Manager) waitGroupReady(ctx context.Context, g *group) error {
+	deadline := time.Now().Add(moveReadyTimeout)
+	for {
+		m.mu.Lock()
+		n := len(readyAddrsLocked(g))
+		m.mu.Unlock()
+		if n > 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("manager: group %q has no ready replica", g.name)
+		}
+		select {
+		case <-time.After(20 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-m.ctx.Done():
+			return fmt.Errorf("manager: stopped")
+		}
+	}
+}
+
+// readyEnvelopesLocked returns the envelopes of g's routable replicas.
+// Caller holds m.mu.
+func (m *Manager) readyEnvelopesLocked(g *group) []*envelope.Envelope {
+	var envs []*envelope.Envelope
+	for _, r := range g.replicas {
+		if r.ready && r.healthy && !r.stopping && r.env != nil {
+			envs = append(envs, r.env)
+		}
+	}
+	return envs
+}
+
+// forEachEnvelope runs fn against every envelope in parallel with a
+// per-step timeout and returns the first hard failure. An envelope whose
+// proclet exited during the step does not fail the move: it is gone, and
+// gone proclets hold no stale state.
+func (m *Manager) forEachEnvelope(ctx context.Context, envs []*envelope.Envelope, fn func(context.Context, *envelope.Envelope) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(envs))
+	for i, e := range envs {
+		wg.Add(1)
+		go func(i int, e *envelope.Envelope) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, moveStepTimeout)
+			defer cancel()
+			err := fn(sctx, e)
+			if err == nil {
+				return
+			}
+			select {
+			case <-e.Done():
+				return // replica exited mid-step; nothing to fence
+			default:
+			}
+			errs[i] = err
+		}(i, e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func removeString(s []string, v string) []string {
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -10,7 +10,15 @@
 //	proclet → envelope: RegisterReplica, ComponentsToHost (request),
 //	                    StartComponent, LoadReport, LogBatch, TraceBatch,
 //	                    GraphBatch
-//	envelope → proclet: HostComponents, RoutingInfo, Shutdown, Ack
+//	envelope → proclet: HostComponents, RoutingInfo, StopComponent, Shutdown
+//
+// Acks flow in both directions: either side may set Message.ID on a request
+// and the peer answers with a KindAck carrying the same ID. Proclets use
+// odd IDs and envelopes even ones, so the two request streams can never
+// collide on the shared pipe. Envelope-initiated acked requests
+// (HostComponents, RoutingInfo, StopComponent) are what make live
+// re-placement drain-safe: the manager knows when a proclet has applied a
+// placement or routing change, not merely received it.
 package pipe
 
 import (
@@ -37,10 +45,11 @@ const (
 	KindLogBatch         = 5  // proclet -> envelope
 	KindTraceBatch       = 6  // proclet -> envelope
 	KindGraphBatch       = 7  // proclet -> envelope
-	KindHostComponents   = 8  // envelope -> proclet (push)
-	KindRoutingInfo      = 9  // envelope -> proclet (push)
+	KindHostComponents   = 8  // envelope -> proclet (push; acked when ID is set)
+	KindRoutingInfo      = 9  // envelope -> proclet (push; acked when ID is set)
 	KindShutdown         = 10 // envelope -> proclet
-	KindAck              = 11 // envelope -> proclet (reply to ID-carrying requests)
+	KindAck              = 11 // either direction (reply to ID-carrying requests)
+	KindStopComponent    = 12 // envelope -> proclet (request; acked once drained)
 )
 
 // Message is the single wire envelope for all control-plane traffic. Kind
@@ -60,6 +69,7 @@ type Message struct {
 	GraphBatch      *GraphBatch      `tag:"9"`
 	HostComponents  *HostComponents  `tag:"10"`
 	RoutingInfo     *RoutingInfo     `tag:"11"`
+	StopComponent   *StopComponent   `tag:"12"`
 }
 
 // RegisterReplica announces a proclet as alive and ready (Table 1).
@@ -84,6 +94,22 @@ type StartComponent struct {
 // (the reply to ComponentsToHost, and pushed when placement changes).
 type HostComponents struct {
 	Components []string `tag:"1"`
+	// Version is the routing epoch of the placement decision behind this
+	// push (0 for the initial assignment). A proclet applies a host flip
+	// only if it is newer than what it has already applied, so a delayed
+	// push can never resurrect hosting that a later move revoked.
+	Version uint64 `tag:"2"`
+}
+
+// StopComponent tells a proclet to stop hosting one component: flip local
+// callers to the data plane, stop admitting new remote calls for it,
+// finish the in-flight ones, and release its handlers. The proclet acks
+// once drained; the manager waits for those acks before considering a
+// re-placement move complete.
+type StopComponent struct {
+	Component string `tag:"1"`
+	// Version is the routing epoch that moved the component away.
+	Version uint64 `tag:"2"`
 }
 
 // RoutingInfo tells a proclet how to reach one component's replicas.

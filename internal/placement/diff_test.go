@@ -1,0 +1,114 @@
+package placement
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/callgraph"
+)
+
+// TestDiffRenameStability: a target plan that is the current grouping under
+// different names must produce zero moves.
+func TestDiffRenameStability(t *testing.T) {
+	current := map[string][]string{
+		"frontend": {"Frontend", "Currency"},
+		"checkout": {"Checkout", "Payment"},
+		"main":     nil,
+	}
+	target := map[string][]string{
+		"g0": {"Checkout", "Payment"},
+		"g1": {"Currency", "Frontend"},
+	}
+	if moves := Diff(current, target); len(moves) != 0 {
+		t.Fatalf("renamed-but-identical plan produced moves: %+v", moves)
+	}
+}
+
+// TestDiffMovesMinority: when a target group mostly matches an existing
+// group, only the odd ones out move — into the matched group, not a fresh
+// one.
+func TestDiffMovesMinority(t *testing.T) {
+	current := map[string][]string{
+		"a": {"W", "X", "Y"},
+		"b": {"Z"},
+	}
+	target := map[string][]string{
+		"g0": {"W", "X", "Y", "Z"},
+	}
+	moves := Diff(current, target)
+	want := []Move{{Component: "Z", From: "b", To: "a"}}
+	if !reflect.DeepEqual(moves, want) {
+		t.Fatalf("Diff = %+v, want %+v", moves, want)
+	}
+}
+
+// TestDiffFreshGroupName: a target group with no overlap winner left gets a
+// fresh name that does not collide with existing groups.
+func TestDiffFreshGroupName(t *testing.T) {
+	current := map[string][]string{
+		"g0": {"A", "B"},
+		"g1": {"C", "D"},
+	}
+	// The plan splits g0: "A" stays heavy with g0, the pair C+B forms a new
+	// group, D gets its own.
+	target := map[string][]string{
+		"g0": {"A"},
+		"g1": {"B", "C"},
+		"g2": {"D"},
+	}
+	moves := Diff(current, target)
+	byComp := map[string]Move{}
+	for _, mv := range moves {
+		byComp[mv.Component] = mv
+	}
+	if len(moves) != 2 {
+		t.Fatalf("Diff = %+v, want moves for exactly B-or-C and D", moves)
+	}
+	// g0 keeps A (overlap 1); target g1 matches current g1 via C; B moves
+	// into it; target g2 is unmatched and must NOT reuse g0/g1.
+	if mv, ok := byComp["B"]; !ok || mv.To != "g1" || mv.From != "g0" {
+		t.Fatalf("B move = %+v, want g0 -> g1", byComp["B"])
+	}
+	mv, ok := byComp["D"]
+	if !ok {
+		t.Fatalf("no move for D: %+v", moves)
+	}
+	if mv.To == "g0" || mv.To == "g1" {
+		t.Fatalf("D moved to occupied group %q", mv.To)
+	}
+}
+
+// TestDiffUnknownComponentsIgnored: components in the target plan that the
+// deployment does not run produce no moves.
+func TestDiffUnknownComponentsIgnored(t *testing.T) {
+	current := map[string][]string{"a": {"X"}}
+	target := map[string][]string{"g0": {"X", "Ghost"}}
+	if moves := Diff(current, target); len(moves) != 0 {
+		t.Fatalf("unexpected moves: %+v", moves)
+	}
+}
+
+// TestEvaluateMatchesPlanAndScore: Evaluate is exactly Plan + Score.
+func TestEvaluateMatchesPlanAndScore(t *testing.T) {
+	c := callgraph.NewCollector()
+	for i := 0; i < 50; i++ {
+		c.Record("A", "B", "M", time.Microsecond, 10, true, false)
+	}
+	for i := 0; i < 5; i++ {
+		c.Record("B", "C", "M", time.Microsecond, 10, true, false)
+	}
+	g := c.Analyze()
+	cfg := Config{MaxGroupSize: 2}
+	ev := Evaluate(g, cfg)
+	plan := Plan(g, cfg)
+	if !reflect.DeepEqual(ev.Plan, plan) {
+		t.Fatalf("Evaluate plan %+v != Plan %+v", ev.Plan, plan)
+	}
+	if got, want := ev.Score, Score(g, plan); got != want {
+		t.Fatalf("Evaluate score %v != Score %v", got, want)
+	}
+	if ev.Score <= 0 || ev.Score >= 1 {
+		t.Fatalf("score %v out of expected open interval (0,1)", ev.Score)
+	}
+}

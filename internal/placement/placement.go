@@ -139,6 +139,121 @@ func Plan(g *callgraph.Graph, cfg Config) map[string][]string {
 	return out
 }
 
+// An Evaluation pairs a colocation plan with its locality score.
+type Evaluation struct {
+	// Plan maps group names to member component lists (see Plan).
+	Plan map[string][]string
+	// Score is the fraction of observed calls the plan makes local.
+	Score float64
+}
+
+// Evaluate plans a colocation for g and scores it against the same graph —
+// the plan-and-score step shared by the placement benchmark, the offline
+// evaluation harness, and the manager's live re-placement loop.
+func Evaluate(g *callgraph.Graph, cfg Config) Evaluation {
+	plan := Plan(g, cfg)
+	return Evaluation{Plan: plan, Score: Score(g, plan)}
+}
+
+// A Move relocates one component from one group to another.
+type Move struct {
+	Component string
+	From, To  string
+}
+
+// Diff computes the component moves that transform the current grouping
+// into the target plan. Target groups are matched onto current groups by
+// maximum member overlap, so a plan that merely renames groups — Plan's
+// generated names never match a deployment's — produces no moves. Target
+// groups left unmatched get fresh names that do not collide with any
+// current group. Components absent from the target plan stay where they
+// are. Moves are returned sorted by component name.
+func Diff(current, target map[string][]string) []Move {
+	curOf := map[string]string{}
+	for name, comps := range current {
+		for _, c := range comps {
+			curOf[c] = name
+		}
+	}
+
+	// Score every (target group, current group) pair by member overlap.
+	type cand struct {
+		overlap  int
+		tgt, cur string
+	}
+	var cands []cand
+	tgtNames := make([]string, 0, len(target))
+	for t := range target {
+		tgtNames = append(tgtNames, t)
+	}
+	sort.Strings(tgtNames)
+	for _, t := range tgtNames {
+		counts := map[string]int{}
+		for _, c := range target[t] {
+			if g, ok := curOf[c]; ok {
+				counts[g]++
+			}
+		}
+		for g, n := range counts {
+			cands = append(cands, cand{overlap: n, tgt: t, cur: g})
+		}
+	}
+	// Greedy maximum matching: heaviest overlap first, deterministic
+	// tie-break by names.
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.overlap != b.overlap {
+			return a.overlap > b.overlap
+		}
+		if a.tgt != b.tgt {
+			return a.tgt < b.tgt
+		}
+		return a.cur < b.cur
+	})
+	assigned := map[string]string{} // target group -> deployment group name
+	taken := map[string]bool{}
+	for _, c := range cands {
+		if _, done := assigned[c.tgt]; done || taken[c.cur] {
+			continue
+		}
+		assigned[c.tgt] = c.cur
+		taken[c.cur] = true
+	}
+	// Fresh non-colliding names for unmatched target groups.
+	inUse := map[string]bool{}
+	for name := range current {
+		inUse[name] = true
+	}
+	for _, name := range assigned {
+		inUse[name] = true
+	}
+	for _, t := range tgtNames {
+		if _, done := assigned[t]; done {
+			continue
+		}
+		name := t
+		for i := 2; inUse[name]; i++ {
+			name = fmt.Sprintf("%s-%d", t, i)
+		}
+		assigned[t] = name
+		inUse[name] = true
+	}
+
+	var moves []Move
+	for _, t := range tgtNames {
+		dest := assigned[t]
+		for _, c := range target[t] {
+			from, ok := curOf[c]
+			if !ok || from == dest {
+				continue
+			}
+			moves = append(moves, Move{Component: c, From: from, To: dest})
+		}
+	}
+	sort.Slice(moves, func(i, j int) bool { return moves[i].Component < moves[j].Component })
+	return moves
+}
+
 // Score evaluates a plan against a call graph: the fraction of calls that
 // become local (caller and callee share a group). Higher is better; 1.0
 // means fully colocated.

@@ -171,7 +171,7 @@ func Start(ctx context.Context, opts Options) (*Proclet, error) {
 		return nil, fmt.Errorf("proclet: fetching components to host: %w", err)
 	}
 	if reply.HostComponents != nil {
-		if err := p.hostComponents(ctx, reply.HostComponents.Components); err != nil {
+		if err := p.hostComponents(ctx, reply.HostComponents.Components, reply.HostComponents.Version); err != nil {
 			p.srv.Close()
 			return nil, err
 		}
@@ -234,11 +234,18 @@ func (p *Proclet) Wait() error {
 }
 
 // Shutdown terminates the proclet: components are shut down and the data
-// plane closed.
+// plane closed. A graceful shutdown (err == nil, e.g. a scale-down) first
+// drains the data plane: new requests are refused with a retryable
+// "unavailable" status while queued and in-flight calls run to completion,
+// so a replica leaving the fleet drops no requests.
 func (p *Proclet) Shutdown(err error) {
 	p.shutdownOnce.Do(func() {
 		if err != nil {
 			p.err.Store(err)
+		} else {
+			dctx, dcancel := context.WithTimeout(context.Background(), 3*time.Second)
+			_ = p.srv.Drain(dctx)
+			dcancel()
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -267,9 +274,10 @@ func (p *Proclet) send(m *pipe.Message) error {
 	return p.opts.Conn.Send(m)
 }
 
-// call transmits a request and waits for its Ack.
+// call transmits a request and waits for its Ack. Proclet-initiated
+// request IDs are odd; envelope-initiated ones even (see package pipe).
 func (p *Proclet) call(ctx context.Context, m *pipe.Message) (*pipe.Message, error) {
-	id := p.nextID.Add(1)
+	id := p.nextID.Add(1)<<1 | 1
 	m.ID = id
 	ch := make(chan *pipe.Message, 1)
 	p.acks.Store(id, ch)
@@ -291,6 +299,12 @@ func (p *Proclet) call(ctx context.Context, m *pipe.Message) (*pipe.Message, err
 }
 
 // recvLoop dispatches envelope messages until the pipe breaks.
+//
+// Host and stop requests run on their own goroutines: hosting a component
+// initializes it, which resolves its dependencies, which can block waiting
+// for routing info — info that only this loop can deliver. Handling them
+// inline would deadlock the control plane. Routing pushes are applied
+// inline so they keep their pipe order.
 func (p *Proclet) recvLoop(ctx context.Context) {
 	for {
 		m, err := p.opts.Conn.Recv()
@@ -306,15 +320,34 @@ func (p *Proclet) recvLoop(ctx context.Context) {
 				ch.(chan *pipe.Message) <- m
 			}
 		case pipe.KindHostComponents:
-			if m.HostComponents != nil {
-				if err := p.hostComponents(ctx, m.HostComponents.Components); err != nil {
-					p.opts.Logger.Error("hosting components", err)
+			m := m
+			go func() {
+				var err error
+				if m.HostComponents != nil {
+					err = p.hostComponents(ctx, m.HostComponents.Components, m.HostComponents.Version)
+					if err != nil {
+						p.opts.Logger.Error("hosting components", err)
+					}
 				}
-			}
+				p.ackTo(m, err)
+			}()
+		case pipe.KindStopComponent:
+			m := m
+			go func() {
+				var err error
+				if m.StopComponent != nil {
+					err = p.unhostComponent(m.StopComponent.Component, m.StopComponent.Version)
+					if err != nil {
+						p.opts.Logger.Error("stopping component", err)
+					}
+				}
+				p.ackTo(m, err)
+			}()
 		case pipe.KindRoutingInfo:
 			if m.RoutingInfo != nil {
 				p.updateRouting(m.RoutingInfo)
 			}
+			p.ackTo(m, nil)
 		case pipe.KindShutdown:
 			p.Shutdown(nil)
 			return
@@ -322,8 +355,24 @@ func (p *Proclet) recvLoop(ctx context.Context) {
 	}
 }
 
+// ackTo answers an envelope-initiated request; unsolicited pushes (ID 0)
+// get no reply.
+func (p *Proclet) ackTo(m *pipe.Message, err error) {
+	if m.ID == 0 {
+		return
+	}
+	reply := &pipe.Message{Kind: pipe.KindAck, ID: m.ID}
+	if err != nil {
+		reply.Err = err.Error()
+	}
+	_ = p.send(reply)
+}
+
 // hostComponents initializes and serves any newly assigned components.
-func (p *Proclet) hostComponents(ctx context.Context, components []string) error {
+// version is the routing epoch of the placement decision (0 for the
+// initial assignment); it fences the local-route flip so a delayed host
+// push cannot override a newer placement.
+func (p *Proclet) hostComponents(ctx context.Context, components []string, version uint64) error {
 	var fresh []string
 	p.mu.Lock()
 	for _, c := range components {
@@ -337,7 +386,43 @@ func (p *Proclet) hostComponents(ctx context.Context, components []string) error
 		return nil
 	}
 	p.opts.Logger.Info("hosting components", "components", strings.Join(shortNames(fresh), ","))
-	return core.HostComponents(ctx, p.runtime, p.srv, fresh)
+	if err := core.HostComponents(ctx, p.runtime, p.srv, fresh); err != nil {
+		return err
+	}
+	// Flip local callers of the newly hosted components to direct dispatch
+	// (dynamic FastLocal). Stubs resolved while the component was remote
+	// pick up the new route on their next call.
+	for _, c := range fresh {
+		if err := p.runtime.PromoteLocal(ctx, c, version); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unhostComponent stops hosting one component (the drain side of a live
+// re-placement move): local callers flip back to the data plane, then the
+// component's handlers are unregistered, draining in-flight remote calls.
+func (p *Proclet) unhostComponent(component string, version uint64) error {
+	p.mu.Lock()
+	wasHosted := p.hosted[component]
+	delete(p.hosted, component)
+	p.mu.Unlock()
+	if !wasHosted {
+		return nil
+	}
+	// Demote before unregistering: once local callers use the data plane,
+	// nothing new targets the handlers and the drain can only shrink. The
+	// routing epoch that moved the component away was broadcast before this
+	// request, so building the data-plane conn does not block.
+	if err := p.runtime.DemoteLocal(component, version); err != nil {
+		return err
+	}
+	if err := core.UnhostComponent(p.srv, component); err != nil {
+		return err
+	}
+	p.opts.Logger.Info("stopped hosting component", "component", core.ShortName(component))
+	return nil
 }
 
 // remoteConn builds (once per component) the data-plane connection used to
@@ -422,6 +507,17 @@ func (p *Proclet) updateRouting(ri *pipe.RoutingInfo) {
 	if len(ri.Replicas) > 0 {
 		rs.once.Do(func() { close(rs.ready) })
 	}
+}
+
+// RoutingVersion reports the routing epoch this proclet has applied for a
+// component's data-plane route (0 before any routing info arrived).
+func (p *Proclet) RoutingVersion(component string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if rs, ok := p.routes[component]; ok {
+		return rs.version
+	}
+	return 0
 }
 
 // RoutingReplicas reports how many replicas this proclet's client-side

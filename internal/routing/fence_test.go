@@ -1,0 +1,30 @@
+package routing
+
+import "testing"
+
+// TestAffinityIgnoresStaleAssignment verifies epoch fencing: an assignment
+// older than the installed one must not roll the router back.
+func TestAffinityIgnoresStaleAssignment(t *testing.T) {
+	af := NewAffinity()
+
+	newer := EqualSlices(5, []string{"b"}, 1)
+	af.Update([]string{"b"}, &newer)
+
+	older := EqualSlices(3, []string{"a"}, 1)
+	af.Update([]string{"a"}, &older)
+
+	addr, err := af.Pick(KeyHash("k"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "b" {
+		t.Fatalf("Pick after stale update = %q, want %q (epoch 5)", addr, "b")
+	}
+
+	// An equal-or-newer epoch applies.
+	next := EqualSlices(5, []string{"c"}, 1)
+	af.Update([]string{"c"}, &next)
+	if addr, _ := af.Pick(KeyHash("k"), true); addr != "c" {
+		t.Fatalf("Pick after same-epoch update = %q, want %q", addr, "c")
+	}
+}

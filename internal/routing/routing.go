@@ -180,17 +180,25 @@ func (a *Affinity) Pick(shard uint64, hasShard bool) (string, error) {
 }
 
 // Update implements Balancer. A nil assignment retains the previous one
-// unless the replica set became empty.
+// unless the replica set became empty. Assignments are epoch-fenced: an
+// assignment older than the one currently installed is ignored, so routing
+// pushes that arrive out of order (e.g. during a live re-placement, when a
+// component's ownership flips between groups) can never roll a router back
+// to a superseded epoch.
 func (a *Affinity) Update(replicas []string, assignment *Assignment) {
-	a.fallback.Update(replicas, nil)
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	if assignment != nil {
+		if a.assignment != nil && assignment.Version < a.assignment.Version {
+			a.mu.Unlock()
+			return // stale epoch
+		}
 		a.assignment = assignment
 	}
 	if len(replicas) == 0 {
 		a.assignment = nil
 	}
+	a.mu.Unlock()
+	a.fallback.Update(replicas, nil)
 }
 
 // HealthAware wraps a Balancer and skips replicas an external health

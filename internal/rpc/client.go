@@ -27,6 +27,14 @@ type CallOptions struct {
 // at-most-once (weaver:noretry) semantics.
 var ErrOverloaded = errors.New("rpc: server overloaded")
 
+// ErrUnavailable is returned (wrapped in a *TransportError) when the server
+// cannot serve the method: it is draining for shutdown, or the method's
+// handlers were unregistered because the component moved to another group
+// (live re-placement). Like ErrOverloaded the request was never executed,
+// so retrying it on a different replica is safe even for methods with
+// at-most-once (weaver:noretry) semantics.
+var ErrUnavailable = errors.New("rpc: replica unavailable")
+
 // A TransportError describes a failure of the RPC machinery itself (broken
 // connection, unknown method, handler panic), as opposed to an application
 // error returned by the component method.
@@ -495,6 +503,9 @@ func (cc *clientConn) roundTrip(ctx context.Context, method MethodID, framed []b
 		case statusOverloaded:
 			resp.Release()
 			return nil, ErrOverloaded
+		case statusUnavailable:
+			resp.Release()
+			return nil, ErrUnavailable
 		case statusOKCompressed:
 			data, err := decompress(resp.data)
 			if err != nil {

@@ -1,0 +1,182 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestUnregisterDrainsInflight verifies that Unregister blocks until calls
+// already executing the handler finish, and that later calls get
+// ErrUnavailable instead of a hard error.
+func TestUnregisterDrainsInflight(t *testing.T) {
+	s := NewServer()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var finished atomic.Bool
+	s.Register("test.Slow", func(ctx context.Context, args []byte) ([]byte, error) {
+		close(started)
+		<-release
+		finished.Store(true)
+		return []byte("done"), nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(addr, ClientOptions{})
+	t.Cleanup(func() { c.Close(); s.Close() })
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var callErr error
+	go func() {
+		defer wg.Done()
+		_, callErr = c.Call(context.Background(), MethodKey("test.Slow"), nil, CallOptions{})
+	}()
+	<-started
+
+	unregistered := make(chan struct{})
+	go func() {
+		s.Unregister("test.Slow")
+		close(unregistered)
+	}()
+
+	select {
+	case <-unregistered:
+		t.Fatal("Unregister returned while a call was still executing")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-unregistered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Unregister did not return after the in-flight call finished")
+	}
+	wg.Wait()
+	if callErr != nil {
+		t.Fatalf("in-flight call during Unregister failed: %v", callErr)
+	}
+	if !finished.Load() {
+		t.Fatal("handler did not run to completion")
+	}
+
+	// The method is now tombstoned: callers get a retryable unavailable.
+	_, err = c.Call(context.Background(), MethodKey("test.Slow"), nil, CallOptions{})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("call after Unregister = %v, want ErrUnavailable", err)
+	}
+
+	// Re-registering the same name (the component moved back) must work.
+	s.Register("test.Slow", func(ctx context.Context, args []byte) ([]byte, error) {
+		return []byte("back"), nil
+	})
+	out, err := c.Call(context.Background(), MethodKey("test.Slow"), nil, CallOptions{})
+	if err != nil || string(out) != "back" {
+		t.Fatalf("call after re-register = %q, %v", out, err)
+	}
+}
+
+// TestUnregisterUnknownIsNoop ensures unregistering a never-registered name
+// does nothing, and that unknown methods still fail hard (not retryable).
+func TestUnregisterUnknownIsNoop(t *testing.T) {
+	c, s, _ := startEcho(t)
+	s.Unregister("test.Nonexistent")
+	_, err := c.Call(context.Background(), MethodKey("test.Nonexistent"), nil, CallOptions{})
+	if err == nil || errors.Is(err, ErrUnavailable) {
+		t.Fatalf("unknown method = %v, want hard dispatch error", err)
+	}
+}
+
+// TestDrainFinishesInflight verifies Drain lets queued work complete and
+// answers new requests with a retryable unavailable instead of dropping
+// them or breaking the connection.
+func TestDrainFinishesInflight(t *testing.T) {
+	s := NewServer()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s.Register("test.Slow", func(ctx context.Context, args []byte) ([]byte, error) {
+		close(started)
+		<-release
+		return []byte("done"), nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(addr, ClientOptions{})
+	t.Cleanup(func() { c.Close(); s.Close() })
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var slowOut []byte
+	var slowErr error
+	go func() {
+		defer wg.Done()
+		slowOut, slowErr = c.Call(context.Background(), MethodKey("test.Slow"), nil, CallOptions{})
+	}()
+	<-started
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+
+	// Wait until the server is visibly draining (new calls get
+	// unavailable), then release the in-flight call.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := c.Call(context.Background(), MethodKey("test.Slow"), nil, CallOptions{})
+		if errors.Is(err, ErrUnavailable) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never started refusing new work: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(release)
+
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain = %v", err)
+	}
+	wg.Wait()
+	if slowErr != nil || string(slowOut) != "done" {
+		t.Fatalf("in-flight call during Drain = %q, %v; want done, nil", slowOut, slowErr)
+	}
+}
+
+// TestDrainTimesOut verifies Drain respects its context when a handler
+// never finishes.
+func TestDrainTimesOut(t *testing.T) {
+	s := NewServer()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s.Register("test.Stuck", func(ctx context.Context, args []byte) ([]byte, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(addr, ClientOptions{})
+	t.Cleanup(func() { close(release); c.Close(); s.Close() })
+
+	go func() {
+		_, _ = c.Call(context.Background(), MethodKey("test.Stuck"), nil, CallOptions{})
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain = %v, want deadline exceeded", err)
+	}
+}

@@ -47,6 +47,7 @@ const (
 	statusError        = 1 // payload is a transport/dispatch error message
 	statusOKCompressed = 2 // payload is a flate-compressed result encoding
 	statusOverloaded   = 3 // request shed by admission control; never executed
+	statusUnavailable  = 4 // method handler draining/unregistered; never executed
 )
 
 // maxFrameSize bounds a single frame to defend against corrupt length

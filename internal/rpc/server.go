@@ -79,7 +79,7 @@ type Server struct {
 	opts ServerOptions
 
 	mu       sync.Mutex
-	handlers map[MethodID]registeredHandler
+	handlers map[MethodID]*registeredHandler
 	lis      net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
@@ -90,6 +90,12 @@ type Server struct {
 	slots  chan struct{}
 	queued atomic.Int64
 
+	// Drain state: once draining is set, new requests are answered with
+	// statusUnavailable (never executed, so callers retry elsewhere) while
+	// inflightReqs counts requests already past that gate.
+	draining     atomic.Bool
+	inflightReqs atomic.Int64
+
 	// delayNanos injects latency before every dispatch. It exists for the
 	// chaos harness, which uses it to simulate a sick/slow replica.
 	delayNanos atomic.Int64
@@ -98,6 +104,7 @@ type Server struct {
 	requests *metrics.Counter
 	errored  *metrics.Counter
 	shed     *metrics.Counter
+	unavail  *metrics.Counter
 	rxBytes  *metrics.Counter
 	txBytes  *metrics.Counter
 }
@@ -106,6 +113,16 @@ type registeredHandler struct {
 	name string
 	fn   Handler       // exactly one of fn
 	ffn  FramedHandler // and ffn is set
+
+	// tombstone marks a method whose handler was unregistered (the
+	// component moved away). Requests for it are answered with
+	// statusUnavailable — a retryable "never executed" signal — instead of
+	// the hard dispatch error a genuinely unknown method gets.
+	tombstone bool
+	// inflight counts calls currently executing this handler; Unregister
+	// waits on it to drain. Add happens under Server.mu, so a waiter that
+	// has removed the handler from the map cannot miss a straggler.
+	inflight sync.WaitGroup
 }
 
 // NewServer returns a server with no handlers registered and no admission
@@ -119,11 +136,12 @@ func NewServer() *Server {
 func NewServerWithOptions(opts ServerOptions) *Server {
 	s := &Server{
 		opts:     opts,
-		handlers: map[MethodID]registeredHandler{},
+		handlers: map[MethodID]*registeredHandler{},
 		conns:    map[net.Conn]struct{}{},
 		requests: metrics.Default.Counter("rpc.server.requests"),
 		errored:  metrics.Default.Counter("rpc.server.errors"),
 		shed:     metrics.Default.Counter("rpc.server.shed"),
+		unavail:  metrics.Default.Counter("rpc.server.unavailable"),
 		rxBytes:  metrics.Default.Counter("rpc.server.rx_bytes"),
 		txBytes:  metrics.Default.Counter("rpc.server.tx_bytes"),
 	}
@@ -182,23 +200,64 @@ func (s *Server) release() {
 // panics if the name (or its 32-bit hash) is already taken: hash collisions
 // must be caught at startup, not mid-request.
 func (s *Server) Register(fullName string, h Handler) {
-	s.register(registeredHandler{name: fullName, fn: h})
+	s.register(&registeredHandler{name: fullName, fn: h})
 }
 
 // RegisterFramed installs a zero-copy handler for the fully-qualified
 // method name, with the same collision rules as Register.
 func (s *Server) RegisterFramed(fullName string, h FramedHandler) {
-	s.register(registeredHandler{name: fullName, ffn: h})
+	s.register(&registeredHandler{name: fullName, ffn: h})
 }
 
-func (s *Server) register(h registeredHandler) {
+func (s *Server) register(h *registeredHandler) {
 	id := MethodKey(h.name)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if prev, ok := s.handlers[id]; ok {
+	if prev, ok := s.handlers[id]; ok && !(prev.tombstone && prev.name == h.name) {
 		panic(fmt.Sprintf("rpc: method registration conflict: %q and %q share id %#x", prev.name, h.name, id))
 	}
 	s.handlers[id] = h
+}
+
+// Unregister removes the handler for fullName and blocks until its
+// in-flight calls have finished. A tombstone is left behind: later requests
+// for the method are answered with statusUnavailable — a retryable signal
+// that the request was never executed — because the usual reason for
+// unregistration is that the component moved to another group and the
+// caller simply holds stale routing. Re-registering the name later (the
+// component moved back) is allowed. Unregistering a name that was never
+// registered is a no-op.
+func (s *Server) Unregister(fullName string) {
+	id := MethodKey(fullName)
+	s.mu.Lock()
+	h, ok := s.handlers[id]
+	if !ok || h.tombstone || h.name != fullName {
+		s.mu.Unlock()
+		return
+	}
+	s.handlers[id] = &registeredHandler{name: fullName, tombstone: true}
+	s.mu.Unlock()
+	h.inflight.Wait()
+}
+
+// Drain puts the server into a draining state and waits for in-flight
+// requests to finish. New requests are answered with statusUnavailable
+// (never executed, so callers safely retry on another replica) rather than
+// refused at the socket: the listener and connections stay open so
+// in-flight responses are still delivered and stale callers get a clean
+// retry signal instead of a broken connection. Drain returns nil once no
+// request is in flight, or ctx.Err() if the deadline expires first.
+// Draining is terminal — it is the first phase of a graceful shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	for s.inflightReqs.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	return nil
 }
 
 // Serve accepts connections from lis until the server is closed. It always
@@ -370,6 +429,17 @@ func (s *Server) serveConn(conn net.Conn) {
 // response write. It runs on a per-request goroutine; args aliases the
 // pooled request frame, which the caller returns to the pool afterwards.
 func (s *Server) handleRequest(ctx context.Context, cw *connWriter, hdr header, args []byte) {
+	// Count in-flight before checking the drain gate: Drain stores the flag
+	// and then polls the counter, so a request that saw draining==false is
+	// guaranteed visible to the poll.
+	s.inflightReqs.Add(1)
+	defer s.inflightReqs.Add(-1)
+	if s.draining.Load() {
+		s.unavail.Inc()
+		_ = cw.respond(hdr.id, statusUnavailable, nil)
+		return
+	}
+
 	if hdr.flags&flagPayloadCompressed != 0 {
 		inflated, err := decompress(args)
 		if err != nil {
@@ -389,6 +459,11 @@ func (s *Server) handleRequest(ctx context.Context, cw *connWriter, hdr header, 
 	if herr != nil {
 		if owner != nil {
 			owner.Release()
+		}
+		if errors.Is(herr, errUnavailable) {
+			s.unavail.Inc()
+			_ = cw.respond(hdr.id, statusUnavailable, nil)
+			return
 		}
 		s.errored.Inc()
 		_ = cw.respond(hdr.id, statusError, []byte(herr.Error()))
@@ -494,10 +569,17 @@ func (cw *connWriter) respondFramed(id uint64, status byte, framed []byte) error
 func (s *Server) dispatch(ctx context.Context, hdr header, args []byte) (result []byte, framed bool, owner BufOwner, err error) {
 	s.mu.Lock()
 	h, ok := s.handlers[hdr.method]
+	if ok && !h.tombstone {
+		h.inflight.Add(1)
+	}
 	s.mu.Unlock()
 	if !ok {
 		return nil, false, nil, fmt.Errorf("rpc: unknown method %#x", hdr.method)
 	}
+	if h.tombstone {
+		return nil, false, nil, errUnavailable
+	}
+	defer h.inflight.Done()
 	defer func() {
 		if r := recover(); r != nil {
 			result, framed, owner = nil, false, nil
@@ -536,6 +618,11 @@ func (s *Server) dispatch(ctx context.Context, hdr header, args []byte) (result 
 
 // ErrShutdown is returned for calls attempted on a closed client.
 var ErrShutdown = errors.New("rpc: client is shut down")
+
+// errUnavailable is the server-internal signal that dispatch found a
+// tombstoned (unregistered) handler; it surfaces to callers as
+// statusUnavailable, never as an error string.
+var errUnavailable = errors.New("rpc: handler unavailable")
 
 func putUint64(b []byte, v uint64) {
 	_ = b[7]

@@ -95,6 +95,63 @@ func (c *chainImpl) Relay(ctx context.Context, msg string, n int) (string, error
 	return out, nil
 }
 
+// Mover is the target of live re-placement chaos tests: a routed component
+// whose deliveries are observable process-globally, so an in-process
+// deployment can prove that no call was lost or executed twice while the
+// manager moved the component between groups.
+type Mover interface {
+	// Deliver records one sequence number on the serving replica.
+	//
+	//weaver:noretry
+	Deliver(ctx context.Context, seq int64) (int64, error)
+}
+
+type moverRouter struct{}
+
+// Deliver spreads sequence numbers over a handful of routing keys so moves
+// exercise affinity assignments, not just replica lists.
+func (moverRouter) Deliver(seq int64) string { return fmt.Sprint(seq % 8) }
+
+// moverMu guards moverSeen, which counts executions per sequence number
+// across every in-process replica. Deliver has at-most-once semantics
+// (weaver:noretry), so each client-visible success must appear here
+// exactly once — a missing entry is a lost call, a count above one a
+// duplicated one.
+var (
+	moverMu   sync.Mutex
+	moverSeen = map[int64]int{}
+)
+
+// MoverCounts returns a copy of the per-sequence execution counts.
+func MoverCounts() map[int64]int {
+	moverMu.Lock()
+	defer moverMu.Unlock()
+	out := make(map[int64]int, len(moverSeen))
+	for k, v := range moverSeen {
+		out[k] = v
+	}
+	return out
+}
+
+// ResetMoverCounts clears the execution counts.
+func ResetMoverCounts() {
+	moverMu.Lock()
+	defer moverMu.Unlock()
+	moverSeen = map[int64]int{}
+}
+
+type moverImpl struct {
+	weaver.Implements[Mover]
+	weaver.WithRouter[moverRouter]
+}
+
+func (m *moverImpl) Deliver(_ context.Context, seq int64) (int64, error) {
+	moverMu.Lock()
+	defer moverMu.Unlock()
+	moverSeen[seq]++
+	return seq, nil
+}
+
 // Failer fails on demand, for error-propagation and chaos tests.
 type Failer interface {
 	Maybe(ctx context.Context, fail bool) (string, error)

@@ -1,7 +1,7 @@
-.PHONY: check build vet test race allocs bench bench-json
+.PHONY: check build vet test race allocs bench bench-json sim sim-soak
 
 # Tier-1 verification: everything a PR must keep green.
-check: vet build race allocs
+check: vet build race allocs sim
 
 build:
 	go build ./...
@@ -20,6 +20,21 @@ race:
 # random, so alloc counts are only meaningful in a plain build.
 allocs:
 	go test -run 'TestAllocs' -count=1 ./internal/rpc
+
+# Deterministic simulation smoke campaign (DESIGN.md §11): fixed seeds,
+# race detector on. A failure prints the seed and a shrunk op trace;
+# replay it with `go test ./internal/sim -run TestSimSeed -sim.seed=N`.
+sim:
+	go test -race -count=1 -run 'TestSim|TestGenerate' ./internal/sim
+
+# Open-ended nightly campaign: SIM_SEEDS consecutive seeds starting at
+# SIM_BASE (defaults to the current time, logged per seed, so any failure
+# is still reproducible from the log).
+SIM_SEEDS ?= 50
+SIM_BASE  ?= $(shell date +%s)
+sim-soak:
+	go test -race -count=1 -timeout 0 -run TestSimSoak -v ./internal/sim \
+		-sim.seeds=$(SIM_SEEDS) -sim.base=$(SIM_BASE)
 
 bench:
 	go test -run xxx -bench . -benchtime 1x .

@@ -21,8 +21,30 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/deploy"
 )
+
+// A Surface is the fault-injection interface a deployment exposes to test
+// harnesses. Both this package's randomized chaos runs and the
+// deterministic simulation harness (internal/sim) inject faults through
+// it, so every deployment that implements Surface gets both for free.
+// deploy.InProcess implements it.
+type Surface interface {
+	// Groups returns the names of fault-targetable groups (non-main groups
+	// with replicas), sorted.
+	Groups() []string
+	// GroupReplicas returns the replica ids of a group, sorted.
+	GroupReplicas(group string) []string
+	// KillReplica abruptly terminates a replica (simulated crash),
+	// reporting whether it existed.
+	KillReplica(id string) bool
+	// DegradeReplica injects delay into a replica's data plane (0 restores
+	// it), reporting whether the replica existed.
+	DegradeReplica(id string, delay time.Duration) bool
+}
+
+var _ Surface = (*deploy.InProcess)(nil)
 
 // Fault is one kind of injected failure.
 type Fault int
@@ -41,8 +63,15 @@ const (
 
 // Options configures a chaos run.
 type Options struct {
-	// Deployment is the running in-process deployment under test.
+	// Deployment is the running in-process deployment under test. It is
+	// shorthand for Surface; leave it nil when injecting a custom Surface.
 	Deployment *deploy.InProcess
+	// Surface is the fault-injection surface faults go through. Defaults
+	// to Deployment.
+	Surface Surface
+	// Clock supplies the run's scheduling timers (fault pacing, degrade
+	// restoration, settle). Nil means the wall clock.
+	Clock clock.Clock
 	// TargetGroups are the groups whose replicas get crashed. Empty means
 	// every non-main group.
 	TargetGroups []string
@@ -93,7 +122,10 @@ func (r *Result) Failed() bool { return len(r.InvariantErrors) > 0 }
 
 // Run executes the chaos schedule and returns findings.
 func Run(ctx context.Context, opts Options) (*Result, error) {
-	if opts.Deployment == nil {
+	if opts.Surface == nil && opts.Deployment != nil {
+		opts.Surface = opts.Deployment
+	}
+	if opts.Surface == nil {
 		return nil, fmt.Errorf("chaos: no deployment")
 	}
 	if opts.Workload == nil {
@@ -120,15 +152,12 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	if opts.DegradeDuration <= 0 {
 		opts.DegradeDuration = 500 * time.Millisecond
 	}
+	clk := clock.Or(opts.Clock)
 	rng := rand.New(rand.NewPCG(opts.Seed, 0xc0ffee))
 
 	targets := opts.TargetGroups
 	if len(targets) == 0 {
-		for _, g := range opts.Deployment.Manager.Status() {
-			if g.Name != "main" && len(g.Replicas) > 0 {
-				targets = append(targets, g.Name)
-			}
-		}
+		targets = append(targets, opts.Surface.Groups()...)
 		sort.Strings(targets)
 	}
 	if len(targets) == 0 {
@@ -148,12 +177,12 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		defer outageMu.Unlock()
 		if err != nil {
 			if outageStart.IsZero() {
-				outageStart = time.Now()
+				outageStart = clk.Now()
 			}
 			return
 		}
 		if !outageStart.IsZero() {
-			if d := time.Since(outageStart); d > longest {
+			if d := clk.Now().Sub(outageStart); d > longest {
 				longest = d
 			}
 			outageStart = time.Time{}
@@ -189,36 +218,28 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		}
 		pause := time.Duration(rng.ExpFloat64() * float64(opts.MeanBetweenFaults))
 		select {
-		case <-time.After(pause):
+		case <-clk.After(pause):
 		case <-ctx.Done():
 		}
 
 		group := targets[rng.IntN(len(targets))]
-		status := opts.Deployment.Manager.Status()
-		var replicaIDs []string
-		for _, g := range status {
-			if g.Name == group {
-				for _, r := range g.Replicas {
-					replicaIDs = append(replicaIDs, r.ID)
-				}
-			}
-		}
+		replicaIDs := opts.Surface.GroupReplicas(group)
 		if len(replicaIDs) == 0 {
 			continue
 		}
 		victim := replicaIDs[rng.IntN(len(replicaIDs))]
 		switch opts.FaultKinds[rng.IntN(len(opts.FaultKinds))] {
 		case CrashReplica:
-			if opts.Deployment.KillReplica(victim) {
+			if opts.Surface.KillReplica(victim) {
 				res.FaultsInjected++
 			}
 		case DegradeReplica:
-			if opts.Deployment.DegradeReplica(victim, opts.DegradeDelay) {
+			if opts.Surface.DegradeReplica(victim, opts.DegradeDelay) {
 				res.FaultsInjected++
 				restoreWG.Add(1)
-				timer := time.AfterFunc(opts.DegradeDuration, func() {
+				timer := clk.AfterFunc(opts.DegradeDuration, func() {
 					defer restoreWG.Done()
-					opts.Deployment.DegradeReplica(victim, 0)
+					opts.Surface.DegradeReplica(victim, 0)
 				})
 				defer timer.Stop()
 			}
@@ -228,7 +249,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	// Heal every outstanding degradation, let the manager heal crashes,
 	// then run the invariant.
 	restoreWG.Wait()
-	time.Sleep(opts.SettleTime)
+	clk.Sleep(opts.SettleTime)
 	stopWorkload()
 	wg.Wait()
 
@@ -236,7 +257,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	res.Errors = errs.Load()
 	outageMu.Lock()
 	if !outageStart.IsZero() {
-		if d := time.Since(outageStart); d > longest {
+		if d := clk.Now().Sub(outageStart); d > longest {
 			longest = d
 		}
 	}

@@ -1,0 +1,117 @@
+package clock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFakeAdvanceFiresInDeadlineOrder(t *testing.T) {
+	c := NewFakeAt(time.Unix(1000, 0))
+	first := c.After(10 * time.Millisecond)
+	second := c.After(20 * time.Millisecond)
+
+	select {
+	case <-first:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+
+	c.Advance(15 * time.Millisecond)
+	select {
+	case <-first:
+	case <-time.After(time.Second):
+		t.Fatal("first timer did not fire")
+	}
+	select {
+	case <-second:
+		t.Fatal("second timer fired early")
+	default:
+	}
+
+	c.Advance(15 * time.Millisecond)
+	select {
+	case <-second:
+	case <-time.After(time.Second):
+		t.Fatal("second timer did not fire")
+	}
+	if got, want := c.Now(), time.Unix(1000, 0).Add(30*time.Millisecond); !got.Equal(want) {
+		t.Fatalf("Now = %v, want %v", got, want)
+	}
+}
+
+func TestFakeTimerStop(t *testing.T) {
+	c := NewFake()
+	timer := c.NewTimer(10 * time.Millisecond)
+	if !timer.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	c.Advance(time.Hour)
+	select {
+	case <-timer.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	if n := c.Waiting(); n != 0 {
+		t.Fatalf("Waiting = %d after Stop, want 0", n)
+	}
+}
+
+func TestFakeAfterFunc(t *testing.T) {
+	c := NewFake()
+	var fired atomic.Int32
+	c.AfterFunc(5*time.Millisecond, func() { fired.Add(1) })
+	late := c.AfterFunc(10*time.Millisecond, func() { fired.Add(100) })
+
+	c.Advance(5 * time.Millisecond)
+	deadline := time.Now().Add(time.Second)
+	for fired.Load() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := fired.Load(); got != 1 {
+		t.Fatalf("fired = %d after first Advance, want 1", got)
+	}
+
+	late.Stop()
+	c.Advance(time.Hour)
+	time.Sleep(10 * time.Millisecond)
+	if got := fired.Load(); got != 1 {
+		t.Fatalf("stopped AfterFunc ran: fired = %d", got)
+	}
+}
+
+func TestFakeSleepWakesOnAdvance(t *testing.T) {
+	c := NewFake()
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	// Wait until the sleeper has registered, then release it.
+	deadline := time.Now().Add(time.Second)
+	for c.Waiting() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	c.Advance(50 * time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not wake on Advance")
+	}
+}
+
+func TestOrDefaultsToRealClock(t *testing.T) {
+	if Or(nil) != Default {
+		t.Fatal("Or(nil) is not the real clock")
+	}
+	f := NewFake()
+	if Or(f) != f {
+		t.Fatal("Or did not pass through the given clock")
+	}
+	// The real clock's timers must actually fire.
+	select {
+	case <-Default.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("real clock After never fired")
+	}
+}

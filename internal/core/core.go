@@ -38,6 +38,15 @@ type Options struct {
 	// process does not host. It is required if Hosted can return false.
 	RemoteConn func(reg *codegen.Registration) (codegen.Conn, error)
 
+	// RoutedLocal, if non-nil, is consulted before dispatching a routed
+	// (sharded) call to a colocated implementation. It reports whether this
+	// process owns the shard under the current affinity assignment; known
+	// is false when no assignment has been applied yet (single replica,
+	// warm-up), in which case the local fast path is kept. When the key
+	// maps to a sibling replica the call crosses the data plane instead,
+	// so affinity routing holds even for colocated callers.
+	RoutedLocal func(component string, shard uint64) (owns, known bool)
+
 	// Fill injects runtime state into a freshly allocated component
 	// implementation: the Implements embedding's logger, Ref fields, and
 	// Listener fields. resolve returns the client for a referenced
@@ -442,6 +451,25 @@ func (mc *measuredConn) Invoke(ctx context.Context, component string, m *codegen
 		return fmt.Errorf("core: component %q has no route", mc.callee)
 	}
 	remote := st.impl == nil
+	remoteVia := st.remote
+
+	// Assignment-aware local dispatch: a colocated routed call takes the
+	// local fast path only when the affinity assignment maps the key to
+	// this replica. Otherwise the call crosses the data plane to the
+	// owning sibling, exactly as it would from a non-colocated caller.
+	if !remote && hasShard && r.opts.RoutedLocal != nil {
+		if owns, known := r.opts.RoutedLocal(component, shard); known && !owns {
+			mc.comp.routeMu.Lock()
+			conn, connErr := r.remoteForLocked(mc.comp)
+			mc.comp.routeMu.Unlock()
+			if connErr == nil {
+				remote = true
+				remoteVia = conn
+			}
+			// On conn-build failure keep the local path: serving the call
+			// off-owner beats failing it.
+		}
+	}
 
 	// Establish the span for this call. A fresh trace is started at
 	// entry points (no inbound context).
@@ -459,7 +487,7 @@ func (mc *measuredConn) Invoke(ctx context.Context, component string, m *codegen
 	start := time.Now()
 	var err error
 	if remote {
-		err = st.remote.Invoke(ctx, component, m, args, res, shard, hasShard)
+		err = remoteVia.Invoke(ctx, component, m, args, res, shard, hasShard)
 	} else if err = ctx.Err(); err == nil {
 		m.Do(ctx, st.impl, args, res)
 	}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/codec"
 	"repro/internal/codegen"
 	"repro/internal/metrics"
@@ -80,6 +81,10 @@ type ConnOptions struct {
 	// set to become non-empty before failing (default 3s). Tests inject a
 	// short grace so they need not wait out the production default.
 	NoReplicaGrace time.Duration
+
+	// Clock supplies the scheduling timers (replica-wait polling, hedge
+	// delays). Nil means the wall clock.
+	Clock clock.Clock
 }
 
 func (o *ConnOptions) fill() {
@@ -89,6 +94,7 @@ func (o *ConnOptions) fill() {
 	if o.NoReplicaGrace <= 0 {
 		o.NoReplicaGrace = 3 * time.Second
 	}
+	o.Clock = clock.Or(o.Clock)
 }
 
 // hedgeMinDelay floors the adaptive hedge delay: when calls complete in
@@ -184,12 +190,13 @@ func (c *DataPlaneConn) pickReplica(ctx context.Context, shard uint64, hasShard 
 	if c.opts.NoReplicaGrace < 5*poll {
 		poll = c.opts.NoReplicaGrace / 5
 	}
-	waitUntil := time.Now().Add(c.opts.NoReplicaGrace)
-	for err != nil && time.Now().Before(waitUntil) {
+	clk := c.opts.Clock
+	waitUntil := clk.Now().Add(c.opts.NoReplicaGrace)
+	for err != nil && clk.Now().Before(waitUntil) {
 		select {
 		case <-ctx.Done():
 			return "", ctx.Err()
-		case <-time.After(poll):
+		case <-clk.After(poll):
 		}
 		addr, err = c.pick.Pick(shard, hasShard)
 	}
@@ -296,7 +303,7 @@ func (c *DataPlaneConn) callHedged(ctx context.Context, primary string, method r
 	primaryDone := false
 	hedged := false
 
-	timer := time.NewTimer(delay)
+	timer := c.opts.Clock.NewTimer(delay)
 	defer timer.Stop()
 
 	// drain releases responses from legs that lose after we have decided
@@ -336,7 +343,7 @@ func (c *DataPlaneConn) callHedged(ctx context.Context, primary string, method r
 				return nil, true, firstErr
 			}
 			// The other leg is still running; let it decide the call.
-		case <-timer.C:
+		case <-timer.C():
 			if hedged {
 				continue
 			}

@@ -270,7 +270,13 @@ func TestManagerAggregatesTelemetry(t *testing.T) {
 func TestStatusReport(t *testing.T) {
 	d := startDeployment(t, manager.Config{App: "test"})
 	ctx := context.Background()
-	if _, err := Get[testpkg.Echo](ctx, d); err != nil {
+	echo, err := Get[testpkg.Echo](ctx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remote conns are lazy: Get alone no longer waits for a replica, but a
+	// completed call proves one registered and served it.
+	if _, err := echo.Echo(ctx, "x"); err != nil {
 		t.Fatal(err)
 	}
 	status := d.Manager.Status()

@@ -59,6 +59,10 @@ type Options struct {
 	ReportInterval time.Duration
 	// TraceFraction is each proclet's trace sampling rate.
 	TraceFraction float64
+	// BypassAssignmentDispatch restores the historical (buggy) colocated
+	// dispatch that ignored the affinity assignment. Testing-only: the sim
+	// harness sets it to demonstrate rediscovering the bug from a seed.
+	BypassAssignmentDispatch bool
 }
 
 // StartInProcess boots a deployment: a manager, a main driver proclet, and
@@ -96,6 +100,8 @@ func StartInProcess(ctx context.Context, opts Options) (*InProcess, error) {
 			MaxInflight:    opts.Config.MaxInflightPerReplica,
 			MaxQueue:       opts.Config.MaxOverloadQueue,
 			Logger:         logging.New(logging.Options{Component: "proclet", Replica: id, Min: logging.LevelWarn}),
+
+			BypassAssignmentDispatch: opts.BypassAssignmentDispatch,
 		})
 		if err != nil {
 			envConn.Close()
@@ -174,6 +180,45 @@ func (d *InProcess) Proclet(id string) (*proclet.Proclet, bool) {
 	defer d.mu.Unlock()
 	p, ok := d.proclets[id]
 	return p, ok
+}
+
+// Proclets returns a snapshot of all live proclets by replica id
+// (including the main driver). The sim harness iterates it to check that
+// every process has applied the routing epoch it is waiting on.
+func (d *InProcess) Proclets() map[string]*proclet.Proclet {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]*proclet.Proclet, len(d.proclets))
+	for id, p := range d.proclets {
+		out[id] = p
+	}
+	return out
+}
+
+// Groups returns the names of all non-main groups that currently have
+// replicas, sorted — the default fault targets (part of the chaos/sim
+// shared fault surface).
+func (d *InProcess) Groups() []string {
+	var out []string
+	for _, g := range d.Manager.Status() {
+		if g.Name != "main" && len(g.Replicas) > 0 {
+			out = append(out, g.Name)
+		}
+	}
+	return out
+}
+
+// GroupReplicas returns the replica ids of a group, sorted.
+func (d *InProcess) GroupReplicas(group string) []string {
+	var out []string
+	for _, g := range d.Manager.Status() {
+		if g.Name == group {
+			for _, r := range g.Replicas {
+				out = append(out, r.ID)
+			}
+		}
+	}
+	return out
 }
 
 // DegradeReplica injects delay into a replica's data plane (0 restores

@@ -111,8 +111,13 @@ func TestMoveComponentUnderLoad(t *testing.T) {
 		if g, _ := d.Manager.GroupOf(moverName); g != dest {
 			t.Fatalf("after move, GroupOf = %q, want %q", g, dest)
 		}
-		// Keep load flowing on the new placement for a while.
-		time.Sleep(150 * time.Millisecond)
+		// Keep load flowing on the new placement: wait for observed
+		// progress (or a client error, checked below) rather than a
+		// wall-clock pause.
+		base := seq.Load()
+		waitFor(t, 20*time.Second, func() bool {
+			return loadErr.Load() != nil || seq.Load() >= base+200
+		})
 	}
 
 	close(stopLoad)
@@ -217,8 +222,12 @@ func TestScaleDownDrainsUnderLoad(t *testing.T) {
 	// the remaining client keeps succeeding.
 	close(slow)
 	waitFor(t, 20*time.Second, func() bool { return d.Manager.ReplicaCount("Echo") <= 1 })
-	// Keep calling on the shrunken fleet for a moment.
-	time.Sleep(300 * time.Millisecond)
+	// Keep calling on the shrunken fleet until the remaining client has
+	// made visible progress (or failed, checked below).
+	base := calls.Load()
+	waitFor(t, 20*time.Second, func() bool {
+		return failures.Load() > 0 || calls.Load() >= base+10
+	})
 	close(stop)
 	wg.Wait()
 

@@ -150,6 +150,12 @@ type Manager struct {
 	// never resurrect a superseded placement.
 	routeVersion uint64
 
+	// lastPush records, per component, the newest routing info stamped for
+	// broadcast (epoch + replica addresses). Test harnesses use it as the
+	// settle barrier: once every live proclet has applied this epoch, the
+	// fabric has quiesced after a topology change.
+	lastPush map[string]pushRecord
+
 	// moveMu serializes re-placement moves; moves (under mu) records the
 	// applied ones.
 	moveMu sync.Mutex
@@ -199,6 +205,7 @@ func New(cfg Config, starter Starter) (*Manager, error) {
 		groups:    map[string]*group{},
 		compGroup: map[string]string{},
 		envelopes: map[*envelope.Envelope]bool{},
+		lastPush:  map[string]pushRecord{},
 		logs:      logging.NewAggregator(200000),
 		graph:     callgraph.NewCollector(),
 		metrics:   map[string][]metrics.Snapshot{},
@@ -334,6 +341,72 @@ func (m *Manager) StartGroup(ctx context.Context, name string, n int) error {
 		}
 	}
 	return firstErr
+}
+
+// ResizeGroup sets a group's replica count to exactly n, synchronously:
+// scale-ups return once the new replicas are started, scale-downs once the
+// stopped replicas (newest first) have drained and exited. It is the
+// scriptable replica lifecycle used by the simulation harness; unlike the
+// autoscaler it is driven by the test schedule, not by load.
+func (m *Manager) ResizeGroup(ctx context.Context, name string, n int) error {
+	if n < 0 {
+		return fmt.Errorf("manager: negative replica target %d for group %q", n, name)
+	}
+	m.mu.Lock()
+	g, ok := m.groups[name]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("manager: unknown group %q", name)
+	}
+	live := g.starting
+	for _, r := range g.replicas {
+		if !r.stopping {
+			live++
+		}
+	}
+	if n > live {
+		need := n - live
+		g.starting += need
+		m.mu.Unlock()
+		var firstErr error
+		for i := 0; i < need; i++ {
+			if err := m.startReplica(ctx, g); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	// Scale down: gracefully stop the newest replicas first, as the
+	// autoscaler does, so drains are exercised rather than crashes.
+	var stop []*replica
+	ids := make([]string, 0, len(g.replicas))
+	for id := range g.replicas {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for i := len(ids) - 1; i >= 0 && live > n; i-- {
+		r := g.replicas[ids[i]]
+		if !r.stopping {
+			r.stopping = true
+			stop = append(stop, r)
+			live--
+		}
+	}
+	m.mu.Unlock()
+	if len(stop) == 0 {
+		return nil
+	}
+	m.broadcastGroupRouting(g)
+	var wg sync.WaitGroup
+	for _, r := range stop {
+		wg.Add(1)
+		go func(r *replica) {
+			defer wg.Done()
+			r.env.Stop(5 * time.Second)
+		}(r)
+	}
+	wg.Wait()
+	return nil
 }
 
 // startReplica launches one replica of g. The caller must have incremented
@@ -551,6 +624,12 @@ func readyAddrsLocked(g *group) []string {
 	return addrs
 }
 
+// pushRecord snapshots one component's newest stamped routing info.
+type pushRecord struct {
+	version uint64
+	addrs   []string
+}
+
 // routingInfoLocked builds the RoutingInfo messages for g's components,
 // stamped with a fresh global epoch.
 func (m *Manager) routingInfoLocked(g *group) []pipe.RoutingInfo {
@@ -567,9 +646,28 @@ func (m *Manager) routingInfoLocked(g *group) []pipe.RoutingInfo {
 			a := routing.EqualSlices(v, addrs, m.cfg.SlicesPerReplica)
 			ri.Assignment = &a
 		}
+		m.lastPush[c] = pushRecord{version: v, addrs: addrs}
 		out = append(out, ri)
 	}
 	return out
+}
+
+// RouteEpoch returns the current global routing epoch (the newest value
+// stamped on any routing broadcast or re-placement step).
+func (m *Manager) RouteEpoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.routeVersion
+}
+
+// LastRouting returns the newest routing epoch stamped for a component and
+// the replica addresses it carried. Harnesses use it to wait until every
+// proclet's applied RoutingVersion catches up after a topology change.
+func (m *Manager) LastRouting(component string) (version uint64, addrs []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pr := m.lastPush[component]
+	return pr.version, append([]string(nil), pr.addrs...)
 }
 
 // broadcastGroupRouting pushes fresh routing info for g's components to

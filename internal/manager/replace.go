@@ -231,6 +231,7 @@ func (m *Manager) MoveComponent(ctx context.Context, component, dest string) err
 		a := routing.EqualSlices(vFlip, addrs, m.cfg.SlicesPerReplica)
 		ri.Assignment = &a
 	}
+	m.lastPush[component] = pushRecord{version: vFlip, addrs: addrs}
 	all := make([]*envelope.Envelope, 0, len(m.envelopes))
 	for e := range m.envelopes {
 		all = append(all, e)

@@ -112,3 +112,81 @@ func TestEvaluateMatchesPlanAndScore(t *testing.T) {
 		t.Fatalf("score %v out of expected open interval (0,1)", ev.Score)
 	}
 }
+
+// TestDiffEmptyPlans: an empty target means "no opinion", and an empty
+// current deployment has nothing to move; neither may synthesize moves.
+func TestDiffEmptyPlans(t *testing.T) {
+	current := map[string][]string{
+		"a":    {"X", "Y"},
+		"main": nil,
+	}
+	if moves := Diff(current, map[string][]string{}); len(moves) != 0 {
+		t.Fatalf("empty target produced moves: %+v", moves)
+	}
+	if moves := Diff(current, nil); len(moves) != 0 {
+		t.Fatalf("nil target produced moves: %+v", moves)
+	}
+	target := map[string][]string{"g0": {"X", "Y"}}
+	if moves := Diff(map[string][]string{}, target); len(moves) != 0 {
+		t.Fatalf("empty current produced moves: %+v", moves)
+	}
+	if moves := Diff(nil, nil); len(moves) != 0 {
+		t.Fatalf("Diff(nil, nil) = %+v, want none", moves)
+	}
+}
+
+// TestDiffSingleComponentGroups: a deployment of all singleton groups,
+// re-partitioned into singleton groups, moves nothing regardless of names;
+// merging two singletons moves exactly one component.
+func TestDiffSingleComponentGroups(t *testing.T) {
+	current := map[string][]string{
+		"A": {"A"},
+		"B": {"B"},
+		"C": {"C"},
+	}
+	sameShape := map[string][]string{
+		"g0": {"C"},
+		"g1": {"A"},
+		"g2": {"B"},
+	}
+	if moves := Diff(current, sameShape); len(moves) != 0 {
+		t.Fatalf("singleton-to-singleton repartition produced moves: %+v", moves)
+	}
+	merge := map[string][]string{
+		"g0": {"A", "B"},
+		"g1": {"C"},
+	}
+	moves := Diff(current, merge)
+	if len(moves) != 1 {
+		t.Fatalf("merging two singletons produced %d moves: %+v", len(moves), moves)
+	}
+	mv := moves[0]
+	if mv.From == mv.To {
+		t.Fatalf("self-move: %+v", mv)
+	}
+	if mv.Component != "A" && mv.Component != "B" {
+		t.Fatalf("moved bystander %q: %+v", mv.Component, moves)
+	}
+	if mv.To != "A" && mv.To != "B" {
+		t.Fatalf("merge created a fresh group %q instead of reusing a matched one", mv.To)
+	}
+}
+
+// TestDiffAllRenamedIdentical: every partition renamed, contents identical
+// — including singletons and an empty main group — must be a no-op.
+func TestDiffAllRenamedIdentical(t *testing.T) {
+	current := map[string][]string{
+		"frontend": {"Frontend"},
+		"cart":     {"Cart", "Checkout"},
+		"ads":      {"Ads"},
+		"main":     nil,
+	}
+	target := map[string][]string{
+		"p0": {"Checkout", "Cart"},
+		"p1": {"Ads"},
+		"p2": {"Frontend"},
+	}
+	if moves := Diff(current, target); len(moves) != 0 {
+		t.Fatalf("fully renamed identical plan produced moves: %+v", moves)
+	}
+}

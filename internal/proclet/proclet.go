@@ -57,15 +57,24 @@ type Options struct {
 	// Logger is the proclet's own logger; component logs are routed to the
 	// envelope regardless.
 	Logger *logging.Logger
+	// BypassAssignmentDispatch disables assignment-aware local dispatch:
+	// colocated routed calls always take the local fast path, even when the
+	// affinity assignment maps the key to a sibling replica. This is the
+	// historical (buggy) behavior; it exists only so the simulation harness
+	// can demonstrate rediscovering the bug from a seed. Never set it in
+	// production deployments.
+	BypassAssignmentDispatch bool
 }
 
 // routeState tracks what this proclet knows about one remote component.
 type routeState struct {
-	conn     *core.DataPlaneConn
-	version  uint64
-	replicas int           // replica count in the last applied routing info
-	ready    chan struct{} // closed when the first routing info arrives
-	once     sync.Once
+	conn    *core.DataPlaneConn
+	version uint64 // newest routing epoch accepted (fences stale pushes)
+	// applied and replicas describe the last push fully installed in the
+	// balancer; they are published only after Balancer.Update returns, so
+	// readers never run ahead of what Pick sees.
+	applied  uint64
+	replicas int
 }
 
 // Proclet is the per-process daemon.
@@ -143,11 +152,16 @@ func Start(ctx context.Context, opts Options) (*Proclet, error) {
 		Replica:   opts.ProcletID,
 		Sink:      p.logBuf,
 	})
+	routedLocal := p.routedShardLocal
+	if opts.BypassAssignmentDispatch {
+		routedLocal = nil
+	}
 	p.runtime = core.NewRuntime(core.Options{
 		Hosted: p.isHosted,
 		RemoteConn: func(reg *codegen.Registration) (codegen.Conn, error) {
 			return p.remoteConn(reg)
 		},
+		RoutedLocal: routedLocal,
 		Fill: func(impl any, name string, resolve func(reflect.Type) (any, error)) error {
 			if opts.Fill == nil {
 				return fmt.Errorf("proclet: no fill function configured")
@@ -425,22 +439,43 @@ func (p *Proclet) unhostComponent(component string, version uint64) error {
 	return nil
 }
 
+// procletNoReplicaGrace is how long a proclet's data-plane calls wait for a
+// cold component's replica set to become non-empty. It is generous because
+// the manager may be spawning the component's very first replica (in a
+// subprocess deployment that includes an exec).
+const procletNoReplicaGrace = 15 * time.Second
+
+// newRouteState builds the client-side routing state for one component.
+func newRouteState(component string, routed bool) *routeState {
+	var bal routing.Balancer
+	if routed {
+		bal = routing.NewAffinity()
+	} else {
+		bal = routing.NewRoundRobin()
+	}
+	return &routeState{
+		conn: core.NewDataPlaneConnWith(component, bal, core.ConnOptions{
+			Client:         rpc.ClientOptions{NumConns: 2},
+			NoReplicaGrace: procletNoReplicaGrace,
+		}),
+	}
+}
+
 // remoteConn builds (once per component) the data-plane connection used to
 // call a component not hosted here, asking the manager to start it.
+//
+// Setup is deliberately lazy: the conn is returned without waiting for the
+// first routing push. A blocking wait here deadlocks static colocation
+// configs where two groups' components reference each other — each group
+// would sit in component init waiting for the other group's routing, and
+// neither would reach RegisterReplica. Early calls instead wait inside the
+// conn (DataPlaneConn.pickReplica polls out NoReplicaGrace) while the
+// manager spins the component up and routing propagates.
 func (p *Proclet) remoteConn(reg *codegen.Registration) (codegen.Conn, error) {
 	p.mu.Lock()
 	rs, ok := p.routes[reg.Name]
 	if !ok {
-		var bal routing.Balancer
-		if reg.Routed {
-			bal = routing.NewAffinity()
-		} else {
-			bal = routing.NewRoundRobin()
-		}
-		rs = &routeState{
-			conn:  core.NewDataPlaneConn(reg.Name, bal, rpc.ClientOptions{NumConns: 2}),
-			ready: make(chan struct{}),
-		}
+		rs = newRouteState(reg.Name, reg.Routed)
 		p.routes[reg.Name] = rs
 	}
 	needStart := !p.started[reg.Name]
@@ -455,17 +490,35 @@ func (p *Proclet) remoteConn(reg *codegen.Registration) (codegen.Conn, error) {
 			return nil, fmt.Errorf("proclet: StartComponent(%s): %w", reg.Name, err)
 		}
 	}
-
-	// Wait for the first routing info so that early calls do not fail with
-	// "no replicas" while the manager spins the component up.
-	select {
-	case <-rs.ready:
-	case <-time.After(30 * time.Second):
-		return nil, fmt.Errorf("proclet: timed out waiting for routing info for %s", reg.Name)
-	case <-p.shutdownCh:
-		return nil, fmt.Errorf("proclet: shut down")
-	}
 	return rs.conn, nil
+}
+
+// routedShardLocal implements core.Options.RoutedLocal: it reports whether
+// this replica owns a routed component's shard under the affinity
+// assignment this proclet has applied. known is false before any
+// assignment arrives (warm-up, or an unrouted component), which keeps the
+// local fast path.
+func (p *Proclet) routedShardLocal(component string, shard uint64) (owns, known bool) {
+	p.mu.Lock()
+	rs := p.routes[component]
+	p.mu.Unlock()
+	if rs == nil {
+		return false, false
+	}
+	aff, ok := rs.conn.Balancer().(*routing.Affinity)
+	if !ok {
+		return false, false
+	}
+	owners := aff.Owners(shard)
+	if len(owners) == 0 {
+		return false, false
+	}
+	for _, o := range owners {
+		if o == p.addr {
+			return true, true
+		}
+	}
+	return false, true
 }
 
 // updateRouting applies a routing push from the envelope.
@@ -476,16 +529,7 @@ func (p *Proclet) updateRouting(ri *pipe.RoutingInfo) {
 		// Routing info for a component we have not asked about yet: create
 		// the state so a later remoteConn finds it ready.
 		reg, found := codegen.Find(ri.Component)
-		var bal routing.Balancer
-		if found && reg.Routed {
-			bal = routing.NewAffinity()
-		} else {
-			bal = routing.NewRoundRobin()
-		}
-		rs = &routeState{
-			conn:  core.NewDataPlaneConn(ri.Component, bal, rpc.ClientOptions{NumConns: 2}),
-			ready: make(chan struct{}),
-		}
+		rs = newRouteState(ri.Component, found && reg.Routed)
 		p.routes[ri.Component] = rs
 		p.started[ri.Component] = true
 	}
@@ -497,25 +541,26 @@ func (p *Proclet) updateRouting(ri *pipe.RoutingInfo) {
 	p.mu.Unlock()
 
 	rs.conn.Balancer().Update(ri.Replicas, ri.Assignment)
-	// Publish the replica count only after the balancer has applied the
-	// update, so RoutingReplicas never runs ahead of what Pick sees.
+	// Publish the applied epoch and replica count only after the balancer
+	// has applied the update, so RoutingVersion and RoutingReplicas never
+	// run ahead of what Pick sees.
 	p.mu.Lock()
 	if rs.version == ri.Version {
+		rs.applied = ri.Version
 		rs.replicas = len(ri.Replicas)
 	}
 	p.mu.Unlock()
-	if len(ri.Replicas) > 0 {
-		rs.once.Do(func() { close(rs.ready) })
-	}
 }
 
 // RoutingVersion reports the routing epoch this proclet has applied for a
-// component's data-plane route (0 before any routing info arrived).
+// component's data-plane route (0 before any routing info arrived). The
+// epoch is published only after the balancer finished applying the push,
+// so observing version v implies Pick sees assignment v (or newer).
 func (p *Proclet) RoutingVersion(component string) uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if rs, ok := p.routes[component]; ok {
-		return rs.version
+		return rs.applied
 	}
 	return 0
 }

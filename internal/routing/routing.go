@@ -179,6 +179,21 @@ func (a *Affinity) Pick(shard uint64, hasShard bool) (string, error) {
 	return a.fallback.Pick(shard, hasShard)
 }
 
+// Owners returns the replicas the installed assignment maps shard to, or
+// nil when no assignment is installed. Colocated callers use it to decide
+// whether a routed call's key maps to themselves (local fast path) or to a
+// sibling replica (data plane), so affinity holds even when caller and
+// callee share a process.
+func (a *Affinity) Owners(shard uint64) []string {
+	a.mu.RLock()
+	asgn := a.assignment
+	a.mu.RUnlock()
+	if asgn == nil {
+		return nil
+	}
+	return asgn.Find(shard)
+}
+
 // Update implements Balancer. A nil assignment retains the previous one
 // unless the replica set became empty. Assignments are epoch-fenced: an
 // assignment older than the one currently installed is ignored, so routing

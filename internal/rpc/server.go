@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/metrics"
 	"repro/internal/tracing"
 )
@@ -71,6 +72,10 @@ type ServerOptions struct {
 	// frees — are shed with statusOverloaded instead of piling up.
 	// Zero means no queue: reject immediately at capacity.
 	MaxQueue int
+	// Clock supplies the timers behind injected dispatch delay (SetDelay)
+	// and drain polling. Nil means the wall clock; deterministic tests
+	// inject a fake.
+	Clock clock.Clock
 }
 
 // A Server accepts weaver-protocol connections and dispatches requests to
@@ -145,6 +150,7 @@ func NewServerWithOptions(opts ServerOptions) *Server {
 		rxBytes:  metrics.Default.Counter("rpc.server.rx_bytes"),
 		txBytes:  metrics.Default.Counter("rpc.server.tx_bytes"),
 	}
+	s.opts.Clock = clock.Or(opts.Clock)
 	if opts.MaxInflight > 0 {
 		s.slots = make(chan struct{}, opts.MaxInflight)
 	}
@@ -254,7 +260,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(2 * time.Millisecond):
+		case <-s.opts.Clock.After(2 * time.Millisecond):
 		}
 	}
 	return nil
@@ -600,10 +606,10 @@ func (s *Server) dispatch(ctx context.Context, hdr header, args []byte) (result 
 		return nil, false, nil, err
 	}
 	if d := time.Duration(s.delayNanos.Load()); d > 0 {
-		timer := time.NewTimer(d)
+		timer := s.opts.Clock.NewTimer(d)
 		defer timer.Stop()
 		select {
-		case <-timer.C:
+		case <-timer.C():
 		case <-ctx.Done():
 			return nil, false, nil, ctx.Err()
 		}

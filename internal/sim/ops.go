@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+)
+
+// Kind enumerates the operations a simulated schedule is built from:
+// workload calls against the deployment's test components interleaved with
+// fault and topology mutations.
+type Kind int
+
+// The op grammar. Workload ops exercise three call shapes: direct
+// affinity-routed calls (Put/Get), calls relayed through an unrouted
+// component colocated with its routed callee (ProxyPut/ProxyGet — the shape
+// that historically dispatched blindly to the local replica), and
+// at-most-once calls (Deliver, weaver:noretry). Fault ops drive the
+// deployment fabric: crash-and-restart, explicit resharding, live
+// re-placement, and data-plane degradation.
+const (
+	OpPut      Kind = iota // direct Store.Put, affinity-routed by key
+	OpGet                  // direct Store.Get
+	OpProxyPut             // Store.Put relayed through colocated StoreProxy
+	OpProxyGet             // Store.Get relayed through colocated StoreProxy
+	OpDeliver              // Mover.Deliver, at-most-once semantics
+	OpEcho                 // unrouted sanity call
+	OpKill                 // crash a replica; the manager must heal it
+	OpScale                // resize a group to N replicas
+	OpMove                 // live re-placement of Mover between groups
+	OpDegrade              // inject data-plane delay into a replica
+	OpRestore              // remove injected delay
+)
+
+// Op is one step of a simulated schedule. Which fields are meaningful
+// depends on Kind. Replica targets are an abstract Index resolved against
+// the sorted live replica list at execution time (mod its length), so a
+// trace stays executable as replicas die, restart, and get renamed.
+type Op struct {
+	Kind  Kind
+	Key   string // OpPut/OpGet/OpProxyPut/OpProxyGet
+	Val   int64  // value written (puts) or sequence number (OpDeliver)
+	Group string // fault target: "kv" or "mv" (Mover's current group)
+	Index int    // abstract replica index for OpKill/OpDegrade/OpRestore
+	N     int    // target size for OpScale
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpPut:
+		return fmt.Sprintf("put %s=%d", o.Key, o.Val)
+	case OpGet:
+		return fmt.Sprintf("get %s", o.Key)
+	case OpProxyPut:
+		return fmt.Sprintf("proxy-put %s=%d", o.Key, o.Val)
+	case OpProxyGet:
+		return fmt.Sprintf("proxy-get %s", o.Key)
+	case OpDeliver:
+		return fmt.Sprintf("deliver %d", o.Val)
+	case OpEcho:
+		return "echo"
+	case OpKill:
+		return fmt.Sprintf("kill %s[%d]", o.Group, o.Index)
+	case OpScale:
+		return fmt.Sprintf("scale %s=%d", o.Group, o.N)
+	case OpMove:
+		return "move mover"
+	case OpDegrade:
+		return fmt.Sprintf("degrade %s[%d]", o.Group, o.Index)
+	case OpRestore:
+		return fmt.Sprintf("restore %s[%d]", o.Group, o.Index)
+	}
+	return fmt.Sprintf("op(%d)", int(o.Kind))
+}
+
+// FormatTrace renders a trace as numbered lines for failure reports.
+func FormatTrace(trace []Op) string {
+	var b strings.Builder
+	for i, op := range trace {
+		fmt.Fprintf(&b, "  %2d. %s\n", i, op)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Generate derives a schedule of n ops from a seed. It is a pure function:
+// the same (seed, n) always yields the same trace, which is what makes a
+// printed seed a complete bug report. Written values and delivery sequence
+// numbers are globally unique within a trace, so a read observing a value
+// identifies exactly which write produced it.
+func Generate(seed uint64, n int) []Op {
+	rng := rand.New(rand.NewPCG(seed, 0x51f7ed))
+	keys := []string{"a", "b", "c", "d", "e", "f"}
+	key := func() string { return keys[rng.IntN(len(keys))] }
+	group := func() string {
+		if rng.IntN(3) == 0 {
+			return "mv"
+		}
+		return "kv"
+	}
+	var nextVal, nextSeq int64
+	ops := make([]Op, 0, n)
+	for len(ops) < n {
+		switch r := rng.IntN(100); {
+		case r < 14:
+			nextVal++
+			ops = append(ops, Op{Kind: OpPut, Key: key(), Val: nextVal})
+		case r < 26:
+			ops = append(ops, Op{Kind: OpGet, Key: key()})
+		case r < 38:
+			nextVal++
+			ops = append(ops, Op{Kind: OpProxyPut, Key: key(), Val: nextVal})
+		case r < 54:
+			ops = append(ops, Op{Kind: OpProxyGet, Key: key()})
+		case r < 64:
+			nextSeq++
+			ops = append(ops, Op{Kind: OpDeliver, Val: nextSeq})
+		case r < 68:
+			ops = append(ops, Op{Kind: OpEcho})
+		case r < 76:
+			ops = append(ops, Op{Kind: OpKill, Group: group(), Index: rng.IntN(4)})
+		case r < 82:
+			ops = append(ops, Op{Kind: OpScale, Group: group(), N: 1 + rng.IntN(3)})
+		case r < 88:
+			ops = append(ops, Op{Kind: OpMove})
+		case r < 94:
+			ops = append(ops, Op{Kind: OpDegrade, Group: "kv", Index: rng.IntN(4)})
+		default:
+			ops = append(ops, Op{Kind: OpRestore, Group: "kv", Index: rng.IntN(4)})
+		}
+	}
+	return ops
+}

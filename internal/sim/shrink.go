@@ -1,0 +1,75 @@
+package sim
+
+import "context"
+
+// Shrink minimizes a failing trace with delta debugging (ddmin): it
+// repeatedly re-runs candidate sub-traces against fresh deployments,
+// keeping any reduction that still violates some invariant (not
+// necessarily the original one — a smaller trace exposing a different
+// violation is an equally good reproduction). The number of extra runs is
+// capped by Options.ShrinkBudget; when the budget runs out the best trace
+// found so far is returned.
+//
+// Because every workload check in the executor is fenced and
+// sampling-complete (see world.checkProxyReads), a candidate's pass/fail
+// outcome is a function of the candidate alone — so ddmin itself is
+// deterministic and the same seed always shrinks to the same trace.
+func Shrink(ctx context.Context, opts Options, trace []Op) ([]Op, string, error) {
+	opts = opts.withDefaults()
+	budget := opts.ShrinkBudget
+	lastViolation := ""
+	var harnessErr error
+	fails := func(t []Op) bool {
+		if budget <= 0 || harnessErr != nil {
+			return false
+		}
+		budget--
+		v, err := RunTrace(ctx, opts, t)
+		if err != nil {
+			harnessErr = err
+			return false
+		}
+		if v != "" {
+			lastViolation = v
+			return true
+		}
+		return false
+	}
+
+	cur := append([]Op(nil), trace...)
+	n := 2
+	for len(cur) >= 2 && budget > 0 && harnessErr == nil {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur) && budget > 0; start += chunk {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make([]Op, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) == 0 {
+				continue
+			}
+			if fails(cand) {
+				cur = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	return cur, lastViolation, harnessErr
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"context"
+	"flag"
+	"reflect"
+	"testing"
+)
+
+var (
+	simSeed = flag.Uint64("sim.seed", 0,
+		"replay a single sim seed (TestSimSeed); 0 skips the test")
+	simSeeds = flag.Int("sim.seeds", 0,
+		"number of seeds for the open-ended soak campaign (TestSimSoak); 0 skips")
+	simBase = flag.Uint64("sim.base", 1,
+		"first seed of the soak campaign")
+	simOps = flag.Int("sim.ops", 0,
+		"ops per generated schedule (0 = harness default)")
+)
+
+// badSeed is a seed whose schedule deterministically rediscovers the
+// historical assignment-blind colocated dispatch bug (ROADMAP item 1) when
+// the deployment runs with BypassAssignmentDispatch. It was found by the
+// harness itself; see TestSimSeedReproducesDispatchBug.
+const badSeed = 1
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	a := Generate(7, 64)
+	b := Generate(7, 64)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Generate is not a pure function of the seed")
+	}
+	if reflect.DeepEqual(a, Generate(8, 64)) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestSimCampaign is the fixed-seed smoke campaign run by `make sim` (and
+// by plain `go test`): a handful of schedules covering crashes, resharding,
+// re-placement, and degradation must uphold every invariant.
+func TestSimCampaign(t *testing.T) {
+	Run(t, Options{Ops: *simOps, Log: t.Logf}, 1, 2, 3)
+}
+
+// TestSimSeed replays one seed given on the command line, the workflow a
+// failure report prints:
+//
+//	go test ./internal/sim -run TestSimSeed -sim.seed=N
+func TestSimSeed(t *testing.T) {
+	if *simSeed == 0 {
+		t.Skip("pass -sim.seed=N to replay a seed")
+	}
+	Run(t, Options{Ops: *simOps, Log: t.Logf}, *simSeed)
+}
+
+// TestSimSoak runs an open-ended campaign for nightly jobs (`make
+// sim-soak`), logging every seed before running it so a crash of the
+// harness itself still identifies the schedule.
+func TestSimSoak(t *testing.T) {
+	if *simSeeds <= 0 {
+		t.Skip("pass -sim.seeds=N to run the soak campaign")
+	}
+	for i := 0; i < *simSeeds; i++ {
+		seed := *simBase + uint64(i)
+		t.Logf("sim-soak: running seed %d", seed)
+		Run(t, Options{Ops: *simOps, Log: t.Logf}, seed)
+	}
+}
+
+// TestSimSeedReproducesDispatchBug demonstrates the harness's central
+// promise on a real, historical bug: with the assignment-ignoring
+// colocated dispatch restored (the pre-fix behavior of ROADMAP item 1),
+// a known seed fails deterministically — same seed, same violation, same
+// shrunk trace, twice in a row — and the very same seed passes against the
+// fixed dispatch.
+func TestSimSeedReproducesDispatchBug(t *testing.T) {
+	ctx := context.Background()
+	buggy := Options{Ops: 24, Bypass: true, ShrinkBudget: 12}
+
+	first, err := RunSeed(ctx, buggy, badSeed)
+	if err != nil {
+		t.Fatalf("harness error: %v", err)
+	}
+	if first.Violation == "" {
+		t.Fatalf("seed %d no longer reproduces the dispatch bug under bypass", badSeed)
+	}
+	if len(first.Shrunk) == 0 || len(first.Shrunk) > len(first.Trace) {
+		t.Fatalf("shrunk trace has %d ops (full trace %d)", len(first.Shrunk), len(first.Trace))
+	}
+	t.Logf("seed %d under buggy dispatch: %s", badSeed, first.Violation)
+	t.Logf("shrunk to %d of %d ops:\n%s", len(first.Shrunk), len(first.Trace), FormatTrace(first.Shrunk))
+
+	// Determinism: a second full run+shrink of the same seed must land on
+	// the identical violation and the identical minimal trace.
+	second, err := RunSeed(ctx, buggy, badSeed)
+	if err != nil {
+		t.Fatalf("harness error on replay: %v", err)
+	}
+	if second.Violation != first.Violation {
+		t.Errorf("replay diverged:\n first: %s\nsecond: %s", first.Violation, second.Violation)
+	}
+	if !reflect.DeepEqual(first.Shrunk, second.Shrunk) {
+		t.Errorf("shrunk traces diverged:\n first:\n%s\nsecond:\n%s",
+			FormatTrace(first.Shrunk), FormatTrace(second.Shrunk))
+	}
+
+	// And the minimal trace must still be a direct repro on its own.
+	v, err := RunTrace(ctx, buggy, first.Shrunk)
+	if err != nil {
+		t.Fatalf("harness error replaying shrunk trace: %v", err)
+	}
+	if v == "" {
+		t.Error("shrunk trace did not reproduce the violation")
+	}
+
+	// With assignment-aware dispatch (the fix), the same seed is clean.
+	fixed, err := RunSeed(ctx, Options{Ops: 24}, badSeed)
+	if err != nil {
+		t.Fatalf("harness error with fixed dispatch: %v", err)
+	}
+	if fixed.Violation != "" {
+		t.Errorf("seed %d still fails with fixed dispatch: %s", badSeed, fixed.Violation)
+	}
+}

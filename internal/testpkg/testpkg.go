@@ -152,6 +152,127 @@ func (m *moverImpl) Deliver(_ context.Context, seq int64) (int64, error) {
 	return seq, nil
 }
 
+// Store is a routed per-key register. Every replica keeps its own
+// in-memory state (affinity is a cache-locality mechanism, not
+// durability), and every operation is recorded in a process-global event
+// log tagged with the serving replica's instance id, so a harness can
+// check linearizable per-key register semantics — and catch a caller whose
+// calls land on a replica the assignment does not map the key to.
+type Store interface {
+	Put(ctx context.Context, key string, val int64) (int64, error)
+	Get(ctx context.Context, key string) (int64, error)
+}
+
+type storeRouter struct{}
+
+func (storeRouter) Put(key string, val int64) string { return key }
+func (storeRouter) Get(key string) string            { return key }
+
+// StoreEvent is one recorded Store operation.
+type StoreEvent struct {
+	Replica uint64 // unique instance id of the serving replica
+	Key     string
+	Val     int64 // value written, or value returned by the read
+	Write   bool
+}
+
+var (
+	storeMu     sync.Mutex
+	storeEvents []StoreEvent
+	storeNextID atomic.Uint64
+)
+
+// StoreEvents returns a copy of the global Store event log.
+func StoreEvents() []StoreEvent {
+	storeMu.Lock()
+	defer storeMu.Unlock()
+	return append([]StoreEvent(nil), storeEvents...)
+}
+
+// ResetStoreEvents clears the global Store event log.
+func ResetStoreEvents() {
+	storeMu.Lock()
+	defer storeMu.Unlock()
+	storeEvents = nil
+}
+
+type storeImpl struct {
+	weaver.Implements[Store]
+	weaver.WithRouter[storeRouter]
+
+	id   uint64
+	mu   sync.Mutex
+	vals map[string]int64
+}
+
+func (s *storeImpl) Init(context.Context) error {
+	s.id = storeNextID.Add(1)
+	s.vals = map[string]int64{}
+	return nil
+}
+
+func (s *storeImpl) record(key string, val int64, write bool) {
+	storeMu.Lock()
+	storeEvents = append(storeEvents, StoreEvent{Replica: s.id, Key: key, Val: val, Write: write})
+	storeMu.Unlock()
+}
+
+func (s *storeImpl) Put(_ context.Context, key string, val int64) (int64, error) {
+	s.mu.Lock()
+	s.vals[key] = val
+	s.mu.Unlock()
+	s.record(key, val, true)
+	return val, nil
+}
+
+func (s *storeImpl) Get(_ context.Context, key string) (int64, error) {
+	s.mu.Lock()
+	val := s.vals[key]
+	s.mu.Unlock()
+	s.record(key, val, false)
+	return val, nil
+}
+
+// StoreProxy is an unrouted component that calls Store on behalf of its
+// callers. Colocated with Store in a multi-replica group, it is the
+// regression case for assignment-aware local dispatch: each proxy replica
+// must forward a key to the replica the affinity assignment owns it on,
+// never blindly to its own colocated Store.
+type StoreProxy interface {
+	PutVia(ctx context.Context, key string, val int64) (int64, error)
+	GetVia(ctx context.Context, key string) (int64, error)
+}
+
+type storeProxyImpl struct {
+	weaver.Implements[StoreProxy]
+	store weaver.Ref[Store]
+}
+
+func (p *storeProxyImpl) PutVia(ctx context.Context, key string, val int64) (int64, error) {
+	return p.store.Get().Put(ctx, key, val)
+}
+
+func (p *storeProxyImpl) GetVia(ctx context.Context, key string) (int64, error) {
+	return p.store.Get().Get(ctx, key)
+}
+
+// Backref references Counter, closing a reference cycle across colocation
+// groups when grouped against Chain/Echo (Chain→Echo one way, this the
+// other). Static configs with such mutual references used to deadlock at
+// init; the regression test holds the two groups' components together.
+type Backref interface {
+	Poke(ctx context.Context, key string) (int64, error)
+}
+
+type backrefImpl struct {
+	weaver.Implements[Backref]
+	counter weaver.Ref[Counter]
+}
+
+func (b *backrefImpl) Poke(ctx context.Context, key string) (int64, error) {
+	return b.counter.Get().Value(ctx, key)
+}
+
 // Failer fails on demand, for error-propagation and chaos tests.
 type Failer interface {
 	Maybe(ctx context.Context, fail bool) (string, error)

@@ -7,6 +7,7 @@
 //	                           deployments in this process (T2 local)
 //	BenchmarkCodec             ablation A1: unversioned vs tagged vs JSON
 //	BenchmarkTransport         ablation A2: custom TCP vs HTTP/1.1+JSON
+//	BenchmarkTransportThroughput  ablation A12: calls/s at 1/8/64 callers
 //	BenchmarkColocationSweep   ablation A3: 1..10 colocation groups
 //	BenchmarkAffinityRouting   ablation A4: §5.2 affinity benefit
 //	BenchmarkRollout           ablation A5: §4.4 rolling vs atomic updates
@@ -26,6 +27,8 @@ import (
 	"net"
 	"reflect"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -424,6 +427,83 @@ func BenchmarkTransportParallel(b *testing.B) {
 			codec.PutEncoder(enc)
 		}
 	})
+}
+
+// BenchmarkTransportThroughput measures sustained call throughput at fixed
+// caller counts (ablation A12 in EXPERIMENTS.md): each caller goroutine
+// keeps exactly one call outstanding, so the 1-caller case exposes lone-call
+// latency (the coalescer must flush immediately when the pipe is idle) while
+// 8 and 64 callers exercise group commit — concurrent frames riding one
+// vectored write — across the client's default connection stripes.
+func BenchmarkTransportThroughput(b *testing.B) {
+	for _, callers := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("Callers%d", callers), func(b *testing.B) {
+			srv := rpc.NewServer()
+			srv.RegisterFramed("bench.EchoT", func(ctx context.Context, args []byte) ([]byte, rpc.BufOwner, error) {
+				enc := codec.GetEncoder()
+				enc.Reserve(rpc.ResponseHeadroom)
+				enc.Raw(args)
+				return enc.Framed(), enc, nil
+			})
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			client := rpc.NewClient(addr, rpc.ClientOptions{}) // default stripes
+			defer client.Close()
+			payload := codec.Marshal(benchOrder())
+			ctx := context.Background()
+			method := rpc.MethodKey("bench.EchoT")
+
+			// Warm every stripe before the clock starts.
+			for i := 0; i < 8; i++ {
+				enc := codec.GetEncoder()
+				enc.Reserve(rpc.PayloadHeadroom)
+				enc.Raw(payload)
+				resp, err := client.CallFramed(ctx, method, enc.Framed(), rpc.CallOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				resp.Release()
+				codec.PutEncoder(enc)
+			}
+
+			var calls atomic.Int64
+			var failed atomic.Value
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for w := 0; w < callers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for calls.Add(1) <= int64(b.N) {
+						enc := codec.GetEncoder()
+						enc.Reserve(rpc.PayloadHeadroom)
+						enc.Raw(payload)
+						resp, err := client.CallFramed(ctx, method, enc.Framed(), rpc.CallOptions{Shard: uint64(w) + 1})
+						if err != nil {
+							failed.Store(err)
+							return
+						}
+						resp.Release()
+						codec.PutEncoder(enc)
+					}
+				}(w)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if err := failed.Load(); err != nil {
+				b.Fatal(err)
+			}
+			if secs := elapsed.Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "calls/s")
+			}
+		})
+	}
 }
 
 // BenchmarkLoadSweep is an extension experiment (E1 in EXPERIMENTS.md):

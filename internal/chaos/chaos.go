@@ -42,6 +42,11 @@ type Surface interface {
 	// DegradeReplica injects delay into a replica's data plane (0 restores
 	// it), reporting whether the replica existed.
 	DegradeReplica(id string, delay time.Duration) bool
+	// DegradeBatching stalls a replica's data-plane write flusher by stall
+	// before every batch write (0 restores it), forcing concurrent
+	// responses to coalesce into deep batches and exercising the write
+	// path's backpressure. It reports whether the replica existed.
+	DegradeBatching(id string, stall time.Duration) bool
 }
 
 var _ Surface = (*deploy.InProcess)(nil)
@@ -59,6 +64,10 @@ const (
 	// flapping replica; client-side circuit breakers are expected to route
 	// traffic around it.
 	DegradeReplica
+	// DegradeBatching stalls a random replica's response flusher by
+	// BatchStall for DegradeDuration, forcing its data plane through the
+	// write-coalescing (group-commit) paths under load.
+	DegradeBatching
 )
 
 // Options configures a chaos run.
@@ -83,9 +92,13 @@ type Options struct {
 	// DegradeDelay is the latency injected by DegradeReplica faults
 	// (default 200ms).
 	DegradeDelay time.Duration
-	// DegradeDuration is how long a DegradeReplica fault lasts before the
-	// replica is restored (default 500ms).
+	// DegradeDuration is how long a DegradeReplica or DegradeBatching fault
+	// lasts before the replica is restored (default 500ms).
 	DegradeDuration time.Duration
+	// BatchStall is the pre-flush stall injected by DegradeBatching faults
+	// (default 2ms — long enough that concurrent responses pile into one
+	// batch, short enough that workload deadlines hold).
+	BatchStall time.Duration
 	// MeanBetweenFaults is the average pause between injections
 	// (default 200ms).
 	MeanBetweenFaults time.Duration
@@ -151,6 +164,9 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	}
 	if opts.DegradeDuration <= 0 {
 		opts.DegradeDuration = 500 * time.Millisecond
+	}
+	if opts.BatchStall <= 0 {
+		opts.BatchStall = 2 * time.Millisecond
 	}
 	clk := clock.Or(opts.Clock)
 	rng := rand.New(rand.NewPCG(opts.Seed, 0xc0ffee))
@@ -240,6 +256,16 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 				timer := clk.AfterFunc(opts.DegradeDuration, func() {
 					defer restoreWG.Done()
 					opts.Surface.DegradeReplica(victim, 0)
+				})
+				defer timer.Stop()
+			}
+		case DegradeBatching:
+			if opts.Surface.DegradeBatching(victim, opts.BatchStall) {
+				res.FaultsInjected++
+				restoreWG.Add(1)
+				timer := clk.AfterFunc(opts.DegradeDuration, func() {
+					defer restoreWG.Done()
+					opts.Surface.DegradeBatching(victim, 0)
 				})
 				defer timer.Stop()
 			}

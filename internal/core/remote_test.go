@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -249,6 +250,57 @@ func TestHedgingReducesTailLatency(t *testing.T) {
 		t.Error("no hedge ever won despite a 200ms-slower primary")
 	}
 	t.Logf("hedging: worst=%v launched=%d won=%d", worst, launched, won)
+}
+
+func TestHedgedCallsSurviveReplicaDeathOnStripedConns(t *testing.T) {
+	// Hammer hedged calls over striped connections while one replica dies
+	// mid-flight. Conn death must surface to the retry loop as a retryable
+	// transport error on every stripe at once, and hedging plus retries
+	// must land every call on the surviving replica — the stripe set is one
+	// logical replica, not four independently healthy ones.
+	const component = "hedge_stripe_race/C"
+	doomedSrv, doomedAddr, _ := startCounting(t, component, rpc.ServerOptions{})
+	_, safeAddr, safeCalls := startCounting(t, component, rpc.ServerOptions{})
+	doomedSrv.SetDelay(3 * time.Millisecond)
+
+	conn := NewDataPlaneConnWith(component, routing.NewRoundRobin(doomedAddr, safeAddr),
+		ConnOptions{
+			HedgeAfter:     time.Millisecond,
+			DisableBreaker: true,
+			Client:         rpc.ClientOptions{NumConns: 4},
+		})
+	defer conn.Close()
+
+	spec := emptySpec(false)
+	const workers, perWorker = 6, 25
+	killAt := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if w == 0 && i == perWorker/2 {
+					close(killAt)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				var args, res struct{}
+				err := conn.Invoke(ctx, component, spec, &args, &res, 0, false)
+				cancel()
+				if err != nil {
+					t.Errorf("worker %d call %d failed despite a live replica: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	<-killAt
+	doomedSrv.Close() // every stripe to this replica dies at once
+	wg.Wait()
+
+	if got := safeCalls.Load(); got == 0 {
+		t.Error("surviving replica executed no calls")
+	}
 }
 
 func TestHedgingDisabledForNoRetry(t *testing.T) {

@@ -235,6 +235,21 @@ func (d *InProcess) DegradeReplica(id string, delay time.Duration) bool {
 	return true
 }
 
+// DegradeBatching stalls a replica's data-plane response flusher by stall
+// before every batch write (0 restores it), forcing its responses to
+// coalesce into deep batches. It returns false if the replica does not
+// exist.
+func (d *InProcess) DegradeBatching(id string, stall time.Duration) bool {
+	d.mu.Lock()
+	p, ok := d.proclets[id]
+	d.mu.Unlock()
+	if !ok {
+		return false
+	}
+	p.InjectFlushStall(stall)
+	return true
+}
+
 // KillReplica abruptly terminates a replica's proclet (no graceful
 // shutdown), simulating a crash for chaos tests. It returns false if the
 // replica does not exist.

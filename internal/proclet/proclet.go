@@ -224,6 +224,12 @@ func (p *Proclet) Metrics() *metrics.Registry { return p.metrics }
 // simulate a slow or flapping replica.
 func (p *Proclet) InjectDataPlaneDelay(d time.Duration) { p.srv.SetDelay(d) }
 
+// InjectFlushStall makes the data-plane server stall d before every
+// response-flusher batch write (0 clears it), forcing concurrent responses
+// through the write-coalescing paths. The chaos and sim harnesses use it as
+// the degrade-dataplane-batching fault.
+func (p *Proclet) InjectFlushStall(d time.Duration) { p.srv.SetFlushStall(d) }
+
 // Route returns the data-plane connection this proclet uses to call the
 // named remote component, if one has been built. Tests use it to observe
 // breaker and hedging state.
@@ -455,7 +461,7 @@ func newRouteState(component string, routed bool) *routeState {
 	}
 	return &routeState{
 		conn: core.NewDataPlaneConnWith(component, bal, core.ConnOptions{
-			Client:         rpc.ClientOptions{NumConns: 2},
+			// NumConns zero: stripe each peer min(4, GOMAXPROCS) wide.
 			NoReplicaGrace: procletNoReplicaGrace,
 		}),
 	}

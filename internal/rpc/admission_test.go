@@ -80,7 +80,7 @@ func TestAdmissionShedsAtCapacity(t *testing.T) {
 }
 
 func TestAdmissionQueueAdmitsWhenSlotFrees(t *testing.T) {
-	_, addr, started, release := startLimited(t, ServerOptions{MaxInflight: 1, MaxQueue: 2})
+	s, addr, started, release := startLimited(t, ServerOptions{MaxInflight: 1, MaxQueue: 2})
 	c := NewClient(addr, ClientOptions{})
 	defer c.Close()
 
@@ -97,10 +97,14 @@ func TestAdmissionQueueAdmitsWhenSlotFrees(t *testing.T) {
 		_, err := c.Call(context.Background(), MethodKey("adm.Fast"), nil, CallOptions{})
 		fastDone <- err
 	}()
+	// Wait until the server has actually queued it (admission has no
+	// timers, so this is a condition wait rather than a clock advance),
+	// then confirm it is still parked there, not answered.
+	waitFor(t, func() bool { return s.queued.Load() > 0 })
 	select {
 	case err := <-fastDone:
 		t.Fatalf("queued call returned early: %v", err)
-	case <-time.After(100 * time.Millisecond):
+	default:
 	}
 
 	release()
@@ -135,13 +139,7 @@ func TestAdmissionQueueOverflowSheds(t *testing.T) {
 		queued <- err
 	}()
 	// Wait until the server has actually queued it.
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) && s.queued.Load() == 0 {
-		time.Sleep(2 * time.Millisecond)
-	}
-	if s.queued.Load() == 0 {
-		t.Fatal("second call never entered the admission queue")
-	}
+	waitFor(t, func() bool { return s.queued.Load() > 0 })
 
 	// The queue is full: the next request must be shed immediately.
 	start := time.Now()

@@ -7,10 +7,10 @@ import (
 	"io"
 	"net"
 	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/codec"
-	"repro/internal/metrics"
 )
 
 // These tests gate the zero-copy data plane's allocation budget: a
@@ -111,7 +111,7 @@ func TestAllocsServerDispatch(t *testing.T) {
 		return enc.Framed(), enc, nil
 	})
 
-	cw := &connWriter{w: io.Discard, tx: metrics.Default.Counter("rpc.server.tx_bytes")}
+	cw := s.newConnWriter(io.Discard)
 	hdr := header{id: 7, method: MethodKey("alloc.ServerEcho")}
 	args := []byte("ping-pong payload")
 	ctx := context.Background()
@@ -122,6 +122,114 @@ func TestAllocsServerDispatch(t *testing.T) {
 	allocs := testing.AllocsPerRun(200, serve)
 	if allocs > 4 {
 		t.Errorf("server dispatch path allocates %.1f allocs/op, budget is 4", allocs)
+	}
+}
+
+// TestAllocsBatchedClientCalls gates the client side of the batched
+// (group-commit) write path: concurrent calls that coalesce into shared
+// flush batches must stay within 9 allocations per call, counting the
+// caller goroutines themselves. The echo peer reuses its buffers, so every
+// counted allocation is client-side.
+func TestAllocsBatchedClientCalls(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are nondeterministic under the race detector (sync.Pool drops Puts)")
+	}
+	cliSide, srvSide := net.Pipe()
+	defer cliSide.Close()
+	defer srvSide.Close()
+	go zeroAllocEchoPeer(srvSide)
+
+	c := NewClient("pipe", ClientOptions{
+		Dialer: func(ctx context.Context, addr string) (net.Conn, error) { return cliSide, nil },
+	})
+	defer c.Close()
+
+	method := MethodKey("alloc.Echo")
+	ctx := context.Background()
+	call := func() {
+		enc := codec.GetEncoder()
+		enc.Reserve(PayloadHeadroom)
+		enc.String("ping-pong payload")
+		resp, err := c.CallFramed(ctx, method, enc.Framed(), CallOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Release()
+		codec.PutEncoder(enc)
+	}
+	const width = 8
+	var wg sync.WaitGroup
+	batch := func() {
+		wg.Add(width)
+		for i := 0; i < width; i++ {
+			go func() {
+				defer wg.Done()
+				call()
+			}()
+		}
+		wg.Wait()
+	}
+	batch() // warm up: dial, pools, goroutine stacks
+
+	const runs = 50
+	flushesBefore := c.flushHist.Count()
+	allocs := testing.AllocsPerRun(runs, batch) / width
+	if allocs > 9 {
+		t.Errorf("batched client call path allocates %.1f allocs/op, budget is 9", allocs)
+	}
+	// Prove the gate measured the batched path: writes on a net.Pipe park
+	// the flusher, so concurrent frames must have shared flushes — fewer
+	// flush batches than frames sent.
+	frames := uint64((runs + 1) * width)
+	if flushes := c.flushHist.Count() - flushesBefore; flushes >= frames {
+		t.Errorf("no coalescing observed: %d flushes for %d frames", flushes, frames)
+	}
+}
+
+// TestAllocsCompressedCall gates the compressed data plane: a call whose
+// request and response both ride the flate path must stay within a small
+// fixed allocation budget. Before the compressor/inflater pools this path
+// cost ~45 allocs and 131 KB per op (BENCH_rpc.json, WeaverTCPCompressed);
+// now each direction pays one exact-size output slice plus the uncompressed
+// end-to-end overhead.
+func TestAllocsCompressedCall(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are nondeterministic under the race detector (sync.Pool drops Puts)")
+	}
+	s := NewServer()
+	s.Register("alloc.Compressed", func(ctx context.Context, args []byte) ([]byte, error) {
+		return args, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := NewClient(addr, ClientOptions{Compress: true, CompressThreshold: 1024})
+	defer c.Close()
+
+	method := MethodKey("alloc.Compressed")
+	ctx := context.Background()
+	payload := bytes.Repeat([]byte("compressible boutique payload "), 300) // ~9 KB
+	call := func() {
+		got, err := c.Call(ctx, method, payload, CallOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(payload) {
+			t.Fatalf("echo returned %d bytes, want %d", len(got), len(payload))
+		}
+	}
+	for i := 0; i < c.numConns+1; i++ {
+		call()
+	}
+
+	allocs := testing.AllocsPerRun(100, call)
+	// Per op: the client's legacy-Call result copy, the server handler's
+	// echo slice, one exact-size inflate output per direction, and the
+	// uncompressed end-to-end bookkeeping (goroutine, context, channel).
+	if allocs > 24 {
+		t.Errorf("compressed round trip allocates %.1f allocs/op, budget is 24", allocs)
 	}
 }
 
@@ -162,7 +270,11 @@ func TestAllocsEndToEnd(t *testing.T) {
 		resp.Release()
 		codec.PutEncoder(enc)
 	}
-	call()
+	// Warm up every stripe: round-robin assignment means the first
+	// numConns calls each dial a fresh connection.
+	for i := 0; i < c.numConns+1; i++ {
+		call()
+	}
 
 	allocs := testing.AllocsPerRun(100, call)
 	// Both sides of a real connection run here: the client channel, the

@@ -2,9 +2,11 @@ package rpc
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,15 +67,19 @@ type Client struct {
 	conns  []*clientConn
 	closed bool
 
-	txBytes *metrics.Counter
-	rxBytes *metrics.Counter
-	calls   *metrics.Counter
+	txBytes   *metrics.Counter
+	rxBytes   *metrics.Counter
+	calls     *metrics.Counter
+	flushHist *metrics.Histogram
 }
 
 // ClientOptions configures a Client.
 type ClientOptions struct {
 	// NumConns is the number of TCP connections to stripe calls over.
-	// Defaults to 1; boutique-scale fan-out benefits from 2-4.
+	// Striping removes the single-conn serialization of the read loop and
+	// the write flusher, so independent callers scale instead of queueing.
+	// Zero means min(4, GOMAXPROCS). The stripe set is one logical replica:
+	// health probes, breakers, and hedging all see a single address.
 	NumConns int
 	// Dialer overrides the default TCP dialer (used by tests and the
 	// simulated network).
@@ -89,11 +95,25 @@ type ClientOptions struct {
 	PingTimeout time.Duration
 }
 
+// defaultNumConns picks the stripe width when ClientOptions.NumConns is
+// unset: one conn per available CPU up to 4, past which the readLoop and
+// flusher stop being the bottleneck.
+func defaultNumConns() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // NewClient returns a client for the server at addr. Connections are
 // established lazily on first call.
 func NewClient(addr string, opts ClientOptions) *Client {
 	if opts.NumConns <= 0 {
-		opts.NumConns = 1
+		opts.NumConns = defaultNumConns()
 	}
 	if opts.Dialer == nil {
 		var d net.Dialer
@@ -116,6 +136,8 @@ func NewClient(addr string, opts ClientOptions) *Client {
 		txBytes:  metrics.Default.Counter("rpc.client.tx_bytes"),
 		rxBytes:  metrics.Default.Counter("rpc.client.rx_bytes"),
 		calls:    metrics.Default.Counter("rpc.client.calls"),
+
+		flushHist: metrics.Default.Histogram("rpc.client.flush_batch_frames", flushBatchBuckets),
 	}
 }
 
@@ -160,7 +182,7 @@ func (c *Client) CallFramed(ctx context.Context, id MethodID, framed []byte, opt
 
 func (c *Client) call(ctx context.Context, id MethodID, framed []byte, owned bool, opts CallOptions) (*Response, error) {
 	c.calls.Inc()
-	cc, err := c.conn(ctx)
+	cc, err := c.conn(ctx, opts.Shard)
 	if err != nil {
 		return nil, &TransportError{Addr: c.addr, Err: err}
 	}
@@ -174,9 +196,11 @@ func (c *Client) call(ctx context.Context, id MethodID, framed []byte, owned boo
 	return resp, nil
 }
 
-// Ping verifies liveness of the server with a ping/pong round trip.
+// Ping verifies liveness of the server with a ping/pong round trip. The
+// probe rotates over the stripes, so repeated pings exercise each conn of
+// the logical replica in turn.
 func (c *Client) Ping(ctx context.Context) error {
-	cc, err := c.conn(ctx)
+	cc, err := c.conn(ctx, 0)
 	if err != nil {
 		return &TransportError{Addr: c.addr, Err: err}
 	}
@@ -200,9 +224,20 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// conn returns a healthy connection, dialing if necessary.
-func (c *Client) conn(ctx context.Context) (*clientConn, error) {
-	slot := int(c.rr.Add(1)) % c.numConns
+// conn returns a healthy connection, dialing if necessary. Sharded calls
+// (shard != 0) stick to an affinity-hashed stripe so one shard's frames
+// batch together and stay ordered on one conn; unsharded calls round-robin
+// across the stripes.
+func (c *Client) conn(ctx context.Context, shard uint64) (*clientConn, error) {
+	var slot int
+	switch {
+	case c.numConns == 1:
+		slot = 0
+	case shard != 0:
+		slot = int(shard % uint64(c.numConns))
+	default:
+		slot = int(c.rr.Add(1) % uint64(c.numConns))
+	}
 
 	c.mu.Lock()
 	if c.closed {
@@ -241,11 +276,12 @@ func (c *Client) conn(ctx context.Context) (*clientConn, error) {
 	return ncc, nil
 }
 
-// clientConn is one multiplexed connection with a reader goroutine.
+// clientConn is one multiplexed connection with a reader goroutine; writes
+// go through a coalescing flusher (see connFlusher).
 type clientConn struct {
-	conn    net.Conn
-	client  *Client
-	writeMu sync.Mutex
+	conn   net.Conn
+	client *Client
+	fl     *connFlusher
 
 	mu      sync.Mutex
 	pending map[uint64]chan *Response
@@ -295,6 +331,7 @@ func newClientConn(conn net.Conn, c *Client) *clientConn {
 	cc := &clientConn{
 		conn:    conn,
 		client:  c,
+		fl:      newConnFlusher(conn, c.txBytes, c.flushHist, nil, nil),
 		pending: map[uint64]chan *Response{},
 		pings:   map[uint64]chan struct{}{},
 	}
@@ -388,35 +425,54 @@ func (cc *clientConn) readLoop() {
 	}
 }
 
+// write assembles one frame from chunks into pooled scratch and hands it
+// to the flusher, blocking until the bytes are on the wire. Frames above
+// vectoredThreshold keep their (final-chunk) payload out of scratch and
+// ride the writev as a separate buffer, preserving the zero-copy behavior
+// for large legacy payloads.
 func (cc *clientConn) write(chunks ...[]byte) error {
 	var n int
 	for _, c := range chunks {
 		n += len(c)
 	}
-	cc.writeMu.Lock()
-	err := writeFrame(cc.conn, chunks...)
-	cc.writeMu.Unlock()
-	if err != nil {
+	if n > maxFrameSize {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	var tail []byte
+	if n > vectoredThreshold && len(chunks) > 1 {
+		tail = chunks[len(chunks)-1]
+		chunks = chunks[:len(chunks)-1]
+	}
+	fb := getFrame()
+	buf := append(fb.b[:0], 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(buf, uint32(n))
+	for _, c := range chunks {
+		buf = append(buf, c...)
+	}
+	fb.b = buf
+	if err := cc.fl.write(buf, tail, fb); err != nil {
 		cc.close(err)
 		return err
 	}
-	// Count only bytes that made it to the wire: a failed write must not
-	// inflate the tx metric.
-	cc.client.txBytes.Add(uint64(n))
 	return nil
 }
 
-// writeFramed writes a preassembled frame whose leading 4 bytes are length
-// scratch — the zero-copy request path.
+// writeFramed enqueues a preassembled frame whose leading 4 bytes are
+// length scratch — the zero-copy request path. The buffer stays owned by
+// the flusher until write returns.
 func (cc *clientConn) writeFramed(framed []byte) error {
-	cc.writeMu.Lock()
-	err := writeFramed(cc.conn, framed)
-	cc.writeMu.Unlock()
-	if err != nil {
+	n := len(framed) - 4
+	if n < 0 {
+		return fmt.Errorf("rpc: framed buffer of %d bytes lacks prefix scratch", len(framed))
+	}
+	if n > maxFrameSize {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	binary.LittleEndian.PutUint32(framed[:4], uint32(n))
+	if err := cc.fl.write(framed, nil, nil); err != nil {
 		cc.close(err)
 		return err
 	}
-	cc.client.txBytes.Add(uint64(len(framed) - 4))
 	return nil
 }
 
@@ -443,15 +499,17 @@ func (cc *clientConn) roundTrip(ctx context.Context, method MethodID, framed []b
 		hdr.deadline = dl.UnixNano()
 	}
 	inPlace := owned
+	var comp *compressor
 	if co := cc.client.opts; co.Compress {
 		// Advertise response compression; compress the request itself when
 		// it is big enough to be worth the CPU.
 		hdr.flags |= flagAcceptCompressed
 		if len(args) >= co.CompressThreshold {
-			if small, ok := compress(args); ok {
+			if small, c, ok := compress(args); ok {
 				args = small
+				comp = c
 				hdr.flags |= flagPayloadCompressed
-				inPlace = false // payload moved to a fresh buffer
+				inPlace = false // payload moved to the compressor's pooled buffer
 			}
 		}
 	}
@@ -476,6 +534,11 @@ func (cc *clientConn) roundTrip(ctx context.Context, method MethodID, framed []b
 		buf[0] = frameRequest
 		hdr.encode(buf[1:])
 		werr = cc.write(buf[:], args)
+	}
+	if comp != nil {
+		// write blocks until the frame is on the wire (or abandoned), so
+		// the compressor's buffer is quiescent here.
+		comp.release()
 	}
 	if werr != nil {
 		cc.mu.Lock()

@@ -11,7 +11,7 @@ import (
 func TestCompressRoundTrip(t *testing.T) {
 	// Compressible data shrinks and round-trips.
 	data := []byte(strings.Repeat("the same words over and over ", 1000))
-	small, ok := compress(data)
+	small, comp, ok := compress(data)
 	if !ok {
 		t.Fatal("compressible payload not compressed")
 	}
@@ -19,6 +19,7 @@ func TestCompressRoundTrip(t *testing.T) {
 		t.Fatalf("compressed %d -> %d", len(data), len(small))
 	}
 	back, err := decompress(small)
+	comp.release()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,24 +36,52 @@ func TestCompressSkipsIncompressible(t *testing.T) {
 		x = x*1664525 + 1013904223
 		data[i] = byte(x >> 24)
 	}
-	if _, ok := compress(data); ok {
+	if _, comp, ok := compress(data); ok {
+		comp.release()
 		t.Log("note: PRNG data compressed anyway (acceptable but unexpected)")
 	}
 }
 
 func TestDecompressGarbage(t *testing.T) {
+	// Declared length far beyond the frame limit.
 	if _, err := decompress([]byte{0xde, 0xad, 0xbe, 0xef}); err == nil {
 		t.Error("garbage inflated")
+	}
+	// No length prefix at all.
+	if _, err := decompress([]byte{0x01}); err == nil {
+		t.Error("short payload inflated")
+	}
+	// Plausible length prefix, garbage flate stream.
+	if _, err := decompress([]byte{16, 0, 0, 0, 0xff, 0xfe, 0xfd, 0xfc}); err == nil {
+		t.Error("corrupt stream inflated")
+	}
+}
+
+func TestDecompressLengthMismatch(t *testing.T) {
+	// A stream holding more bytes than its declared length is corruption,
+	// not a prefix of valid data.
+	data := []byte(strings.Repeat("mismatch payload ", 500))
+	small, comp, ok := compress(data)
+	if !ok {
+		t.Fatal("compressible payload not compressed")
+	}
+	tampered := append([]byte(nil), small...)
+	comp.release()
+	// Understate the uncompressed length: the stream now runs past it.
+	tampered[0], tampered[1], tampered[2], tampered[3] = 16, 0, 0, 0
+	if _, err := decompress(tampered); err == nil {
+		t.Error("understated length prefix inflated")
 	}
 }
 
 func TestQuickCompressRoundTrip(t *testing.T) {
 	f := func(data []byte) bool {
-		small, ok := compress(data)
+		small, comp, ok := compress(data)
 		if !ok {
 			return true // sent raw; nothing to verify
 		}
 		back, err := decompress(small)
+		comp.release()
 		return err == nil && bytes.Equal(back, data)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {

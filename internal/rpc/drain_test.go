@@ -3,10 +3,13 @@ package rpc
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // TestUnregisterDrainsInflight verifies that Unregister blocks until calls
@@ -45,10 +48,16 @@ func TestUnregisterDrainsInflight(t *testing.T) {
 		close(unregistered)
 	}()
 
+	// Unregister blocks on a WaitGroup (no timers), so give its goroutine
+	// plenty of chances to run, then check it has not returned: the
+	// in-flight handler is still parked on release.
+	for i := 0; i < 100; i++ {
+		runtime.Gosched()
+	}
 	select {
 	case <-unregistered:
 		t.Fatal("Unregister returned while a call was still executing")
-	case <-time.After(50 * time.Millisecond):
+	default:
 	}
 	close(release)
 	select {
@@ -93,9 +102,12 @@ func TestUnregisterUnknownIsNoop(t *testing.T) {
 
 // TestDrainFinishesInflight verifies Drain lets queued work complete and
 // answers new requests with a retryable unavailable instead of dropping
-// them or breaking the connection.
+// them or breaking the connection. Drain's internal poll runs on the
+// server's clock, so the test drives it with a fake clock instead of
+// sleeping.
 func TestDrainFinishesInflight(t *testing.T) {
-	s := NewServer()
+	fake := clock.NewFake()
+	s := NewServerWithOptions(ServerOptions{Clock: fake})
 	started := make(chan struct{})
 	release := make(chan struct{})
 	s.Register("test.Slow", func(ctx context.Context, args []byte) ([]byte, error) {
@@ -127,23 +139,32 @@ func TestDrainFinishesInflight(t *testing.T) {
 		drained <- s.Drain(ctx)
 	}()
 
-	// Wait until the server is visibly draining (new calls get
-	// unavailable), then release the in-flight call.
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		_, err := c.Call(context.Background(), MethodKey("test.Slow"), nil, CallOptions{})
-		if errors.Is(err, ErrUnavailable) {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("server never started refusing new work: %v", err)
-		}
-		time.Sleep(5 * time.Millisecond)
+	// Drain stores the draining flag, sees the in-flight call, and parks on
+	// the fake clock's poll timer — so the timer registering IS the "server
+	// is visibly draining" signal.
+	waitFor(t, func() bool { return fake.Waiting() > 0 })
+
+	// New calls must now get a retryable unavailable, never execute.
+	_, err = c.Call(context.Background(), MethodKey("test.Slow"), nil, CallOptions{})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("call while draining = %v, want ErrUnavailable", err)
 	}
 	close(release)
 
-	if err := <-drained; err != nil {
-		t.Fatalf("Drain = %v", err)
+	// Step the poll loop until Drain observes zero in-flight requests.
+	for done := false; !done; {
+		select {
+		case err := <-drained:
+			if err != nil {
+				t.Fatalf("Drain = %v", err)
+			}
+			done = true
+		default:
+			if fake.Waiting() > 0 {
+				fake.Advance(2 * time.Millisecond)
+			}
+			runtime.Gosched()
+		}
 	}
 	wg.Wait()
 	if slowErr != nil || string(slowOut) != "done" {
@@ -152,9 +173,11 @@ func TestDrainFinishesInflight(t *testing.T) {
 }
 
 // TestDrainTimesOut verifies Drain respects its context when a handler
-// never finishes.
+// never finishes. The fake clock keeps Drain's poll parked so the context
+// is provably what unblocked it.
 func TestDrainTimesOut(t *testing.T) {
-	s := NewServer()
+	fake := clock.NewFake()
+	s := NewServerWithOptions(ServerOptions{Clock: fake})
 	started := make(chan struct{})
 	release := make(chan struct{})
 	s.Register("test.Stuck", func(ctx context.Context, args []byte) ([]byte, error) {
@@ -174,9 +197,20 @@ func TestDrainTimesOut(t *testing.T) {
 	}()
 	<-started
 
-	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
-	defer cancel()
-	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("Drain = %v, want deadline exceeded", err)
+	ctx, cancel := context.WithCancel(context.Background())
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(ctx) }()
+
+	// Drain is parked on its poll timer with the stuck handler in flight;
+	// canceling the context must be what unblocks it.
+	waitFor(t, func() bool { return fake.Waiting() > 0 })
+	cancel()
+	select {
+	case err := <-drained:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Drain = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Drain did not return after its context was canceled")
 	}
 }

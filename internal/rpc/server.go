@@ -105,13 +105,19 @@ type Server struct {
 	// chaos harness, which uses it to simulate a sick/slow replica.
 	delayNanos atomic.Int64
 
+	// flushStallNanos injects a stall before every response-flusher batch
+	// write, forcing concurrent responses to coalesce into deeper batches.
+	// It exists for the chaos/sim harnesses (degrade-dataplane-batching).
+	flushStallNanos atomic.Int64
+
 	// Metrics.
 	requests *metrics.Counter
 	errored  *metrics.Counter
 	shed     *metrics.Counter
 	unavail  *metrics.Counter
-	rxBytes  *metrics.Counter
-	txBytes  *metrics.Counter
+	rxBytes   *metrics.Counter
+	txBytes   *metrics.Counter
+	flushHist *metrics.Histogram
 }
 
 type registeredHandler struct {
@@ -149,6 +155,8 @@ func NewServerWithOptions(opts ServerOptions) *Server {
 		unavail:  metrics.Default.Counter("rpc.server.unavailable"),
 		rxBytes:  metrics.Default.Counter("rpc.server.rx_bytes"),
 		txBytes:  metrics.Default.Counter("rpc.server.tx_bytes"),
+
+		flushHist: metrics.Default.Histogram("rpc.server.flush_batch_frames", flushBatchBuckets),
 	}
 	s.opts.Clock = clock.Or(opts.Clock)
 	if opts.MaxInflight > 0 {
@@ -160,6 +168,13 @@ func NewServerWithOptions(opts ServerOptions) *Server {
 // SetDelay injects d of latency before each dispatch, respecting request
 // cancellation. Chaos tests use it to degrade a replica; zero clears it.
 func (s *Server) SetDelay(d time.Duration) { s.delayNanos.Store(int64(d)) }
+
+// SetFlushStall injects d of stall before each response-flusher batch
+// write, so concurrent responses pile into deeper coalesced batches — the
+// degrade-dataplane-batching fault. Zero clears it. Unlike SetDelay this
+// does not delay dispatch: it squeezes the write path specifically, which
+// also exercises the flusher's pending-bytes backpressure.
+func (s *Server) SetFlushStall(d time.Duration) { s.flushStallNanos.Store(int64(d)) }
 
 // admit blocks until the request may execute, or reports that it must be
 // shed. With no limit configured every request is admitted immediately.
@@ -334,8 +349,8 @@ func (s *Server) Close() error {
 }
 
 // serveConn owns one connection: it reads frames and dispatches requests,
-// each on its own goroutine, with responses serialized through a write
-// mutex.
+// each on its own goroutine, with responses coalesced through the
+// connection's write flusher.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -355,7 +370,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	)
 	defer connWG.Wait()
 
-	cw := &connWriter{w: conn, tx: s.txBytes}
+	cw := s.newConnWriter(conn)
 
 	for {
 		// Each request frame is read into a pooled buffer owned by the
@@ -480,11 +495,12 @@ func (s *Server) handleRequest(ctx context.Context, cw *connWriter, hdr header, 
 		payload = result[ResponseHeadroom:]
 	}
 	if hdr.flags&flagAcceptCompressed != 0 && len(payload) >= DefaultCompressThreshold {
-		if small, ok := compress(payload); ok {
+		if small, comp, ok := compress(payload); ok {
 			if owner != nil {
 				owner.Release()
 			}
 			_ = cw.respond(hdr.id, statusOKCompressed, small)
+			comp.release()
 			return
 		}
 	}
@@ -498,12 +514,17 @@ func (s *Server) handleRequest(ctx context.Context, cw *connWriter, hdr header, 
 	_ = cw.respond(hdr.id, statusOK, result)
 }
 
-// connWriter serializes response writes on one server connection and
-// counts tx bytes only for writes that succeed.
+// connWriter coalesces response writes on one server connection through a
+// connFlusher; tx bytes are counted only for writes that succeed. Response
+// writers are per-request handler goroutines still holding their admission
+// slot, so the flusher's backlog cap turns a congested connection into
+// backpressure on MaxInflight.
 type connWriter struct {
-	mu sync.Mutex
-	w  io.Writer
-	tx *metrics.Counter
+	fl *connFlusher
+}
+
+func (s *Server) newConnWriter(w io.Writer) *connWriter {
+	return &connWriter{fl: newConnFlusher(w, s.txBytes, s.flushHist, &s.flushStallNanos, s.opts.Clock)}
 }
 
 // write frames and writes arbitrary chunks (pings/pongs).
@@ -512,17 +533,22 @@ func (cw *connWriter) write(chunks ...[]byte) error {
 	for _, c := range chunks {
 		n += len(c)
 	}
-	cw.mu.Lock()
-	err := writeFrame(cw.w, chunks...)
-	cw.mu.Unlock()
-	if err == nil {
-		cw.tx.Add(uint64(n))
+	if n > maxFrameSize {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
 	}
-	return err
+	fb := getFrame()
+	buf := append(fb.b[:0], 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(buf, uint32(n))
+	for _, c := range chunks {
+		buf = append(buf, c...)
+	}
+	fb.b = buf
+	return cw.fl.write(buf, nil, fb)
 }
 
 // respond assembles a response frame (type, id, status, payload) in pooled
-// scratch and writes it with a single Write.
+// scratch and enqueues it on the flusher. Payloads above vectoredThreshold
+// stay out of scratch and ride the writev as a separate buffer.
 func (cw *connWriter) respond(id uint64, status byte, payload []byte) error {
 	n := 1 + 8 + 1 + len(payload)
 	if n > maxFrameSize {
@@ -534,21 +560,19 @@ func (cw *connWriter) respond(id uint64, status byte, payload []byte) error {
 	buf = append(buf, frameResponse)
 	buf = binary.LittleEndian.AppendUint64(buf, id)
 	buf = append(buf, status)
-	buf = append(buf, payload...)
-	cw.mu.Lock()
-	_, err := cw.w.Write(buf)
-	cw.mu.Unlock()
-	fb.b = buf
-	putFrame(fb)
-	if err == nil {
-		cw.tx.Add(uint64(n))
+	if len(payload) > vectoredThreshold {
+		fb.b = buf
+		return cw.fl.write(buf, payload, fb)
 	}
-	return err
+	buf = append(buf, payload...)
+	fb.b = buf
+	return cw.fl.write(buf, nil, fb)
 }
 
 // respondFramed fills the ResponseHeadroom scratch at the front of framed
-// in place and writes the buffer with a single Write — the zero-copy path
-// for pooled handler results.
+// in place and enqueues the buffer on the flusher — the zero-copy path for
+// pooled handler results. The buffer stays owned by the flusher until the
+// call returns.
 func (cw *connWriter) respondFramed(id uint64, status byte, framed []byte) error {
 	n := len(framed) - 4
 	if n > maxFrameSize {
@@ -558,13 +582,7 @@ func (cw *connWriter) respondFramed(id uint64, status byte, framed []byte) error
 	framed[4] = frameResponse
 	binary.LittleEndian.PutUint64(framed[5:13], id)
 	framed[13] = status
-	cw.mu.Lock()
-	_, err := cw.w.Write(framed)
-	cw.mu.Unlock()
-	if err == nil {
-		cw.tx.Add(uint64(n))
-	}
-	return err
+	return cw.fl.write(framed, nil, nil)
 }
 
 // dispatch runs the handler for hdr.method, converting panics into errors

@@ -30,6 +30,8 @@ const (
 	OpMove                 // live re-placement of Mover between groups
 	OpDegrade              // inject data-plane delay into a replica
 	OpRestore              // remove injected delay
+	OpDegradeBatch         // stall a replica's response flusher (forces write coalescing)
+	OpRestoreBatch         // remove injected flush stall
 )
 
 // Op is one step of a simulated schedule. Which fields are meaningful
@@ -69,6 +71,10 @@ func (o Op) String() string {
 		return fmt.Sprintf("degrade %s[%d]", o.Group, o.Index)
 	case OpRestore:
 		return fmt.Sprintf("restore %s[%d]", o.Group, o.Index)
+	case OpDegradeBatch:
+		return fmt.Sprintf("degrade-dataplane-batching %s[%d]", o.Group, o.Index)
+	case OpRestoreBatch:
+		return fmt.Sprintf("restore-dataplane-batching %s[%d]", o.Group, o.Index)
 	}
 	return fmt.Sprintf("op(%d)", int(o.Kind))
 }
@@ -122,10 +128,14 @@ func Generate(seed uint64, n int) []Op {
 			ops = append(ops, Op{Kind: OpScale, Group: group(), N: 1 + rng.IntN(3)})
 		case r < 88:
 			ops = append(ops, Op{Kind: OpMove})
-		case r < 94:
+		case r < 92:
 			ops = append(ops, Op{Kind: OpDegrade, Group: "kv", Index: rng.IntN(4)})
-		default:
+		case r < 95:
+			ops = append(ops, Op{Kind: OpDegradeBatch, Group: "kv", Index: rng.IntN(4)})
+		case r < 98:
 			ops = append(ops, Op{Kind: OpRestore, Group: "kv", Index: rng.IntN(4)})
+		default:
+			ops = append(ops, Op{Kind: OpRestoreBatch, Group: "kv", Index: rng.IntN(4)})
 		}
 	}
 	return ops

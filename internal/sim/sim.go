@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/autoscale"
+	"repro/internal/chaos"
 	"repro/internal/deploy"
 	"repro/internal/logging"
 	"repro/internal/manager"
@@ -53,6 +54,12 @@ const (
 	// call deadlines (degradation must not taint value expectations), large
 	// enough to reorder real work under the race detector.
 	simDegradeDelay = 50 * time.Millisecond
+
+	// simBatchStall is the response-flusher stall injected by
+	// degrade-dataplane-batching ops: each batch write pauses this long, so
+	// concurrent responses from the replica coalesce into deep batches
+	// while individual calls stay far inside op deadlines.
+	simBatchStall = 2 * time.Millisecond
 
 	opTimeout     = 5 * time.Second
 	settleTimeout = 20 * time.Second
@@ -101,8 +108,12 @@ func fill(impl any, name string, logger *logging.Logger, resolve func(reflect.Ty
 
 // world is one deployment under simulation plus the checker's model of it.
 type world struct {
-	d     *deploy.InProcess
-	store testpkg.Store
+	d *deploy.InProcess
+	// faults is the deployment's fault-injection surface. Fault ops go
+	// through the interface (not the concrete deployment) so the schedule
+	// grammar stays portable to any deployment implementing chaos.Surface.
+	faults chaos.Surface
+	store  testpkg.Store
 	proxy testpkg.StoreProxy
 	mover testpkg.Mover
 	echo  testpkg.Echo
@@ -154,6 +165,7 @@ func newWorld(ctx context.Context, bypass bool) (*world, error) {
 	}
 	w := &world{
 		d:           d,
+		faults:      d,
 		expect:      map[string]int64{},
 		tried:       map[int64]bool{},
 		acked:       map[int64]bool{},
@@ -368,13 +380,25 @@ func (w *world) apply(ctx context.Context, i int, op Op) (string, error) {
 	case OpDegrade:
 		ids := w.d.GroupReplicas(w.resolveGroup(op.Group))
 		if len(ids) > 0 {
-			w.d.DegradeReplica(ids[op.Index%len(ids)], simDegradeDelay)
+			w.faults.DegradeReplica(ids[op.Index%len(ids)], simDegradeDelay)
 		}
 
 	case OpRestore:
 		ids := w.d.GroupReplicas(w.resolveGroup(op.Group))
 		if len(ids) > 0 {
-			w.d.DegradeReplica(ids[op.Index%len(ids)], 0)
+			w.faults.DegradeReplica(ids[op.Index%len(ids)], 0)
+		}
+
+	case OpDegradeBatch:
+		ids := w.d.GroupReplicas(w.resolveGroup(op.Group))
+		if len(ids) > 0 {
+			w.faults.DegradeBatching(ids[op.Index%len(ids)], simBatchStall)
+		}
+
+	case OpRestoreBatch:
+		ids := w.d.GroupReplicas(w.resolveGroup(op.Group))
+		if len(ids) > 0 {
+			w.faults.DegradeBatching(ids[op.Index%len(ids)], 0)
 		}
 	}
 

@@ -13,6 +13,10 @@ import (
 // catalog (per item) → currency (per price) → shipping quote → payment →
 // shipping → cart empty → email.
 type Checkout interface {
+	// PlaceOrder is revenue-critical: under overload it must be admitted
+	// ahead of best-effort traffic like ad serving.
+	//
+	//weaver:priority=critical
 	PlaceOrder(ctx context.Context, req PlaceOrderRequest) (Order, error)
 }
 

@@ -199,6 +199,10 @@ func (e *emailService) SendOrderConfirmation(_ context.Context, email string, or
 
 // AdService serves contextual advertisements.
 type AdService interface {
+	// GetAds is best-effort decoration: the first traffic to shed when a
+	// replica saturates.
+	//
+	//weaver:priority=low
 	GetAds(ctx context.Context, contextKeys []string) ([]Ad, error)
 }
 

@@ -46,6 +46,13 @@ type MethodSpec struct {
 	// comment.
 	NoRetry bool
 
+	// Priority is the method's admission class, mirroring the rpc
+	// package's numbering (0 normal, 1 low, 2 high, 3 critical) without
+	// importing it. Declared with a "weaver:priority=low|high|critical"
+	// directive in the method's doc comment; under server overload, lower
+	// classes are shed first and the class rides the wire with each call.
+	Priority int
+
 	// ArgsPool and ResPool, when non-nil, recycle this method's args and
 	// results structs (see Pool). The hosting path uses them to serve a
 	// steady-state call without allocating either struct; NewArgs/NewRes

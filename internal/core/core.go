@@ -471,14 +471,16 @@ func (mc *measuredConn) Invoke(ctx context.Context, component string, m *codegen
 		}
 	}
 
-	// Establish the span for this call. A fresh trace is started at
-	// entry points (no inbound context).
+	// Establish the span for this call. A fresh trace is started at entry
+	// points (no inbound context); the root makes the sampling decision
+	// here, and the bit rides every downstream hop's span context.
 	var sc tracing.SpanContext
 	parent, hasParent := tracing.FromContext(ctx)
 	if hasParent {
 		sc = parent.Child()
 	} else if r.opts.Tracer != nil {
 		sc = tracing.NewTrace()
+		sc.Sampled = r.opts.Tracer.Sampled(sc.Trace)
 	}
 	if sc.Valid() {
 		ctx = tracing.ContextWith(ctx, sc)
@@ -523,12 +525,12 @@ func (mc *measuredConn) Invoke(ctx context.Context, component string, m *codegen
 		if err != nil {
 			span.Err = err.Error()
 		}
-		r.opts.Tracer.Record(span)
+		r.opts.Tracer.RecordSampled(span, sc.Sampled)
 	}
 	return err
 }
 
-// ShortName trims the package path from a full component name:
+/// ShortName trims the package path from a full component name:
 // "repro/internal/boutique/CartService" -> "CartService".
 func ShortName(full string) string {
 	if i := strings.LastIndexByte(full, '/'); i >= 0 {

@@ -34,6 +34,12 @@ import (
 // second attempt to a different replica after a p99-derived delay, first
 // response wins, loser canceled. Application errors are never retried
 // here — they are decoded from the results payload by the generated stub.
+//
+// These mechanics are organized as an interceptor chain (see
+// interceptor.go): route → breaker → custom stages → retry → hedge →
+// transport, composed once at construction and threaded by a per-call
+// *CallMeta whose wire-visible fields (priority, attempt, hedge, sampled
+// trace) ride the request header.
 type DataPlaneConn struct {
 	component string
 	balancer  routing.Balancer
@@ -41,6 +47,7 @@ type DataPlaneConn struct {
 	opts      ConnOptions
 	breakers  *rpc.BreakerGroup
 	lat       *latencyTracker
+	chain     ClientNext
 
 	mu      sync.Mutex
 	clients map[string]*rpc.Client
@@ -85,6 +92,14 @@ type ConnOptions struct {
 	// Clock supplies the scheduling timers (replica-wait polling, hedge
 	// delays). Nil means the wall clock.
 	Clock clock.Clock
+
+	// Tracer, when set, records spans for hedge-race legs that lose after
+	// the call is decided (so traces show the canceled duplicate).
+	Tracer *tracing.Recorder
+
+	// Interceptors are custom client stages, spliced into the chain after
+	// the built-in route and breaker stages and before retry/hedge fan-out.
+	Interceptors []ClientInterceptor
 }
 
 func (o *ConnOptions) fill() {
@@ -134,6 +149,14 @@ func NewDataPlaneConnWith(component string, balancer routing.Balancer, opts Conn
 		})
 		c.pick = routing.NewHealthAware(balancer, c.breakers.Healthy)
 	}
+	// Compose the call path once; per-call cost is plain indirection.
+	stages := []ClientInterceptor{c.routeStage}
+	if !opts.DisableBreaker {
+		stages = append(stages, c.breakerStage)
+	}
+	stages = append(stages, opts.Interceptors...)
+	stages = append(stages, c.retryStage, c.hedgeStage)
+	c.chain = chainClient(stages, c.transport)
 	return c
 }
 
@@ -177,12 +200,12 @@ func (c *DataPlaneConn) clientFor(addr string) *rpc.Client {
 	return cl
 }
 
-// pickReplica chooses a replica, waiting out NoReplicaGrace when the
-// replica set is empty — typically mid-restart after a crash (paper §3.1:
-// replicas "may fail and get restarted") — rather than failing the caller
-// immediately. The wait respects context cancellation.
-func (c *DataPlaneConn) pickReplica(ctx context.Context, shard uint64, hasShard bool) (string, error) {
-	addr, err := c.pick.Pick(shard, hasShard)
+// pickWithGrace chooses a replica from b, waiting out NoReplicaGrace when
+// the replica set is empty — typically mid-restart after a crash (paper
+// §3.1: replicas "may fail and get restarted") — rather than failing the
+// caller immediately. The wait respects context cancellation.
+func (c *DataPlaneConn) pickWithGrace(ctx context.Context, b routing.Balancer, shard uint64, hasShard bool) (string, error) {
+	addr, err := b.Pick(shard, hasShard)
 	if !errors.Is(err, routing.ErrNoReplicas) {
 		return addr, err
 	}
@@ -198,7 +221,7 @@ func (c *DataPlaneConn) pickReplica(ctx context.Context, shard uint64, hasShard 
 			return "", ctx.Err()
 		case <-clk.After(poll):
 		}
-		addr, err = c.pick.Pick(shard, hasShard)
+		addr, err = b.Pick(shard, hasShard)
 	}
 	return addr, err
 }
@@ -263,215 +286,46 @@ func (c *DataPlaneConn) hedgeDelay() time.Duration {
 	return d
 }
 
-// callHedged runs one attempt against primary and, if it has not answered
-// after the hedge delay, races a second attempt against a different
-// replica. The first response wins; the loser's context is canceled,
-// which propagates an explicit cancel frame to its server. Replicas the
-// hedge touches are recorded in tried.
-//
-// framed is the caller's pooled request buffer. The hedge leg never
-// touches it: the leg gets a private copy, because both legs fill the
-// framing headroom in place and would otherwise race. The returned clean
-// flag reports whether framed is quiescent — false when the primary leg
-// may still be writing from it (a lost or abandoned leg blocked inside a
-// write), in which case the caller must neither reuse nor pool the buffer.
-func (c *DataPlaneConn) callHedged(ctx context.Context, primary string, method rpc.MethodID, framed []byte, callOpts rpc.CallOptions, shard uint64, hasShard bool, tried map[string]bool) (resp *rpc.Response, clean bool, err error) {
-	delay := c.hedgeDelay()
-	if delay <= 0 {
-		resp, err := c.callOnce(ctx, primary, method, framed, callOpts)
-		return resp, true, err
-	}
-
-	hctx, cancel := context.WithCancel(ctx)
-	defer cancel() // the loser is abandoned and its server told to stop
-
-	type attempt struct {
-		addr string
-		out  *rpc.Response
-		err  error
-		leg  int // 0 = primary
-	}
-	results := make(chan attempt, 2) // buffered: losers must not leak
-	launch := func(addr string, buf []byte, leg int) {
-		go func() {
-			out, err := c.callOnce(hctx, addr, method, buf, callOpts)
-			results <- attempt{addr: addr, out: out, err: err, leg: leg}
-		}()
-	}
-	launch(primary, framed, 0)
-	outstanding := 1
-	primaryDone := false
-	hedged := false
-
-	timer := c.opts.Clock.NewTimer(delay)
-	defer timer.Stop()
-
-	// drain releases responses from legs that lose after we have decided
-	// the call, so their pooled buffers are not stranded.
-	drain := func(n int) {
-		if n > 0 {
-			go func() {
-				for i := 0; i < n; i++ {
-					if a := <-results; a.out != nil {
-						a.out.Release()
-					}
-				}
-			}()
-		}
-	}
-
-	var firstErr error
-	for {
-		select {
-		case r := <-results:
-			outstanding--
-			if r.leg == 0 {
-				primaryDone = true
-			}
-			if r.err == nil {
-				if hedged && r.leg != 0 {
-					c.hedgeWins.Add(1)
-					c.mHedgeWins.Inc()
-				}
-				drain(outstanding)
-				return r.out, primaryDone, nil
-			}
-			if firstErr == nil {
-				firstErr = r.err
-			}
-			if outstanding == 0 {
-				return nil, true, firstErr
-			}
-			// The other leg is still running; let it decide the call.
-		case <-timer.C():
-			if hedged {
-				continue
-			}
-			hedged = true
-			addr, err := c.pick.Pick(shard, hasShard)
-			if err != nil || addr == primary {
-				continue // no distinct replica to hedge to
-			}
-			tried[addr] = true
-			c.hedges.Add(1)
-			c.mHedges.Inc()
-			// Copy only the args region: the primary leg mutates the
-			// headroom concurrently, and the hedge leg fills its own.
-			dup := make([]byte, len(framed))
-			copy(dup[rpc.PayloadHeadroom:], framed[rpc.PayloadHeadroom:])
-			launch(addr, dup, 1)
-			outstanding++
-		}
-	}
-}
-
 // Invoke implements codegen.Conn. Arguments are encoded once into a pooled
 // encoder with transport headroom, so the request travels from codec to
 // wire without copies; the response payload is decoded straight out of the
-// transport's pooled read buffer and released afterwards.
+// transport's pooled read buffer and released afterwards. The call itself
+// runs through the conn's interceptor chain, driven by a stack-allocated
+// CallMeta.
 func (c *DataPlaneConn) Invoke(ctx context.Context, component string, m *codegen.MethodSpec, args, res any, shard uint64, hasShard bool) error {
 	enc := codec.GetEncoder()
 	enc.Reserve(rpc.PayloadHeadroom)
 	codec.EncodePtr(enc, args)
-	framed := enc.Framed()
-	// reusable tracks whether enc's buffer is quiescent: a lost hedge leg
-	// may still be blocked writing from it, in which case the buffer can
-	// be neither pooled nor reused for a retry.
-	reusable := true
-	cloned := false
+	meta := CallMeta{
+		Component: c.component,
+		Method:    m,
+		MethodID:  rpc.MethodKey(c.component + "." + m.Name),
+		Shard:     shard,
+		HasShard:  hasShard,
+		Priority:  rpc.Priority(m.Priority),
+		framed:    enc.Framed(),
+		reusable:  true,
+		tried:     map[string]bool{},
+	}
+	if sc, ok := tracing.FromContext(ctx); ok {
+		meta.Trace = sc
+	}
 	defer func() {
-		if reusable {
+		// meta.reusable tracks whether enc's buffer is quiescent: a lost
+		// hedge leg may still be blocked writing from it, in which case the
+		// buffer can be neither pooled nor reused.
+		if meta.reusable {
 			codec.PutEncoder(enc)
 		}
 	}()
 
-	var callOpts rpc.CallOptions
-	if hasShard {
-		callOpts.Shard = shard
+	resp, err := c.chain(ctx, &meta)
+	if err != nil {
+		return err
 	}
-	if sc, ok := tracing.FromContext(ctx); ok {
-		callOpts.Trace = sc
-	}
-
-	method := rpc.MethodKey(c.component + "." + m.Name)
-	execBudget := c.opts.TransportRetries
-	if m.NoRetry {
-		// Non-idempotent method (weaver:noretry): at-most-once delivery.
-		execBudget = 1
-	}
-	// Overload sheds never execute server-side, so they get their own
-	// budget and never count against at-most-once semantics.
-	shedBudget := c.opts.TransportRetries
-
-	var lastErr error
-	execAttempts, shedAttempts := 0, 0
-	tried := map[string]bool{}
-	for {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		addr, err := c.pickReplica(ctx, shard, hasShard)
-		if err != nil {
-			return err
-		}
-		// Prefer an untried replica on retries, but accept a repeat if the
-		// balancer has only one choice.
-		if (execAttempts > 0 || shedAttempts > 0) && tried[addr] {
-			for i := 0; i < 4 && tried[addr]; i++ {
-				if a2, err2 := c.pick.Pick(shard, hasShard); err2 == nil {
-					addr = a2
-				} else {
-					break
-				}
-			}
-		}
-		tried[addr] = true
-
-		var resp *rpc.Response
-		if !m.NoRetry && execAttempts == 0 && shedAttempts == 0 {
-			var clean bool
-			resp, clean, err = c.callHedged(ctx, addr, method, framed, callOpts, shard, hasShard, tried)
-			if !clean {
-				reusable = false
-			}
-		} else {
-			resp, err = c.callOnce(ctx, addr, method, framed, callOpts)
-		}
-		if err == nil {
-			uerr := codec.Unmarshal(resp.Data(), res)
-			resp.Release()
-			return uerr
-		}
-		lastErr = err
-		// Sheds and unavailable replies never executed server-side, so they
-		// share a budget separate from at-most-once execution attempts.
-		if errors.Is(err, rpc.ErrOverloaded) || errors.Is(err, rpc.ErrUnavailable) {
-			shedAttempts++
-			if shedAttempts >= shedBudget {
-				break
-			}
-		} else {
-			var te *rpc.TransportError
-			if !errors.As(err, &te) {
-				return err // context cancellation or application-visible error
-			}
-			execAttempts++
-			if execAttempts >= execBudget {
-				break
-			}
-		}
-		if !reusable && !cloned {
-			// An abandoned hedge leg may still be writing from the shared
-			// buffer; retry from a private copy of the args region (the
-			// headroom is per-attempt scratch).
-			dup := make([]byte, len(framed))
-			copy(dup[rpc.PayloadHeadroom:], framed[rpc.PayloadHeadroom:])
-			framed = dup
-			cloned = true
-		}
-	}
-	return fmt.Errorf("core: %s.%s failed after %d attempts: %w",
-		ShortName(c.component), m.Name, execAttempts+shedAttempts, lastErr)
+	uerr := codec.Unmarshal(resp.Data(), res)
+	resp.Release()
+	return uerr
 }
 
 // latencyTracker keeps a small ring of recent successful call latencies

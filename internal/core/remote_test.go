@@ -11,6 +11,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/routing"
 	"repro/internal/rpc"
+	"repro/internal/tracing"
 )
 
 // emptySpec returns a MethodSpec with empty args/results, the shape every
@@ -327,5 +328,66 @@ func TestHedgingDisabledForNoRetry(t *testing.T) {
 	}
 	if total := slowCalls.Load() + fastCalls.Load(); total != 8 {
 		t.Errorf("8 noretry calls executed %d times", total)
+	}
+}
+
+// TestHedgeLoserSpanRecorded checks that when a hedge race is decided, the
+// abandoned leg leaves a visible mark in the trace: a span parented under
+// the call's span and annotated as the canceled hedge loser.
+func TestHedgeLoserSpanRecorded(t *testing.T) {
+	const component = "hedge_span/C"
+	slowSrv, slowAddr, _ := startCounting(t, component, rpc.ServerOptions{})
+	_, fastAddr, _ := startCounting(t, component, rpc.ServerOptions{})
+	slowSrv.SetDelay(150 * time.Millisecond)
+
+	// Fraction 0: nothing is recorded unless the span context's sampled
+	// bit — the root's decision — forces it through RecordSampled.
+	rec := tracing.NewRecorder(0, 0)
+	conn := NewDataPlaneConnWith(component, routing.NewRoundRobin(slowAddr, fastAddr),
+		ConnOptions{HedgeAfter: 5 * time.Millisecond, DisableBreaker: true, Tracer: rec})
+	defer conn.Close()
+
+	sc := tracing.NewTrace()
+	sc.Sampled = true
+	ctx := tracing.ContextWith(context.Background(), sc)
+	spec := emptySpec(false)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var args, res struct{}
+		if err := conn.Invoke(ctx, component, spec, &args, &res, 0, false); err != nil {
+			t.Fatal(err)
+		}
+		if _, won := conn.HedgeStats(); won > 0 {
+			break
+		}
+	}
+	if _, won := conn.HedgeStats(); won == 0 {
+		t.Fatal("no hedge ever won against a 150ms-slower primary")
+	}
+
+	// The loser span is recorded asynchronously, after the abandoned leg
+	// observes its cancellation.
+	var loser *tracing.Span
+	for time.Now().Before(deadline) && loser == nil {
+		for _, s := range rec.Drain() {
+			if s.Err == "canceled (hedge loser)" {
+				s := s
+				loser = &s
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if loser == nil {
+		t.Fatal("no hedge-loser span recorded")
+	}
+	if loser.Trace != uint64(sc.Trace) {
+		t.Errorf("loser span trace = %d, want the caller's trace %d", loser.Trace, sc.Trace)
+	}
+	if loser.Parent != uint64(sc.Span) {
+		t.Errorf("loser span parent = %d, want the call's span %d", loser.Parent, sc.Span)
+	}
+	if !loser.Remote {
+		t.Error("loser span not marked remote")
 	}
 }

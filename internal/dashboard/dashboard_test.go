@@ -88,6 +88,17 @@ func TestDashboardEndpoints(t *testing.T) {
 	if !strings.Contains(metricsOut, "component_served_Echo") {
 		t.Errorf("metrics missing served counter:\n%s", firstLines(metricsOut, 20))
 	}
+	// Per-priority-class admission outcomes must surface on /metrics so an
+	// operator can see which classes are being shed.
+	for _, want := range []string{
+		"rpc_server_admitted_normal", "rpc_server_admitted_high",
+		"rpc_server_shed_low", "rpc_server_shed_critical",
+		"rpc_server_hedge_dropped",
+	} {
+		if !strings.Contains(metricsOut, want) {
+			t.Errorf("metrics missing per-priority admission counter %q", want)
+		}
+	}
 
 	traces := get(t, base+"/traces")
 	if !strings.Contains(traces, "traces collected") {

@@ -63,6 +63,7 @@ type method struct {
 	variadic bool    // last param is variadic
 	routed   bool    // router has a matching method
 	noRetry  bool    // "weaver:noretry" directive in the doc comment
+	priority int     // "weaver:priority=..." directive (0 normal, 1 low, 2 high, 3 critical)
 }
 
 type param struct {
@@ -304,6 +305,10 @@ func (g *generator) scan() error {
 					return err
 				}
 				m.noRetry = hasDirective(f.Doc, "weaver:noretry")
+				m.priority, err = priorityDirective(emb.ifaceName, name.Name, f.Doc)
+				if err != nil {
+					return err
+				}
 				c.methods = append(c.methods, m)
 			}
 		}
@@ -530,6 +535,35 @@ func hasDirective(doc *ast.CommentGroup, directive string) bool {
 	return false
 }
 
+// priorityDirective parses a //weaver:priority=<class> directive in a
+// method's doc comment into the admission class the generated MethodSpec
+// carries (mirroring the rpc package's numbering). Absent directive means
+// normal (0).
+func priorityDirective(iface, method string, doc *ast.CommentGroup) (int, error) {
+	if doc == nil {
+		return 0, nil
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if !strings.HasPrefix(text, "weaver:priority=") {
+			continue
+		}
+		switch class := strings.TrimPrefix(text, "weaver:priority="); class {
+		case "low":
+			return 1, nil
+		case "normal":
+			return 0, nil
+		case "high":
+			return 2, nil
+		case "critical":
+			return 3, nil
+		default:
+			return 0, fmt.Errorf("generate: %s.%s: unknown priority class %q (want low, normal, high, or critical)", iface, method, class)
+		}
+	}
+	return 0, nil
+}
+
 // baseTypeName returns the identifier of a receiver type ("T" or "*T").
 func baseTypeName(e ast.Expr) string {
 	switch t := e.(type) {
@@ -743,6 +777,9 @@ func (g *generator) emitComponent(b *bytes.Buffer, c *component) {
 		fmt.Fprintf(b, "\t\t},\n")
 		if m.noRetry {
 			fmt.Fprintf(b, "\t\tNoRetry: true,\n")
+		}
+		if m.priority != 0 {
+			fmt.Fprintf(b, "\t\tPriority: %d,\n", m.priority)
 		}
 		if m.routed {
 			fmt.Fprintf(b, "\t\tShard: func(args any) uint64 {\n")

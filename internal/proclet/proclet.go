@@ -452,7 +452,9 @@ func (p *Proclet) unhostComponent(component string, version uint64) error {
 const procletNoReplicaGrace = 15 * time.Second
 
 // newRouteState builds the client-side routing state for one component.
-func newRouteState(component string, routed bool) *routeState {
+// The proclet's span recorder is handed to the conn so hedge-loser spans
+// land in the same export stream as served-call spans.
+func newRouteState(component string, routed bool, tracer *tracing.Recorder) *routeState {
 	var bal routing.Balancer
 	if routed {
 		bal = routing.NewAffinity()
@@ -463,6 +465,7 @@ func newRouteState(component string, routed bool) *routeState {
 		conn: core.NewDataPlaneConnWith(component, bal, core.ConnOptions{
 			// NumConns zero: stripe each peer min(4, GOMAXPROCS) wide.
 			NoReplicaGrace: procletNoReplicaGrace,
+			Tracer:         tracer,
 		}),
 	}
 }
@@ -481,7 +484,7 @@ func (p *Proclet) remoteConn(reg *codegen.Registration) (codegen.Conn, error) {
 	p.mu.Lock()
 	rs, ok := p.routes[reg.Name]
 	if !ok {
-		rs = newRouteState(reg.Name, reg.Routed)
+		rs = newRouteState(reg.Name, reg.Routed, p.tracer)
 		p.routes[reg.Name] = rs
 	}
 	needStart := !p.started[reg.Name]
@@ -535,7 +538,7 @@ func (p *Proclet) updateRouting(ri *pipe.RoutingInfo) {
 		// Routing info for a component we have not asked about yet: create
 		// the state so a later remoteConn finds it ready.
 		reg, found := codegen.Find(ri.Component)
-		rs = newRouteState(ri.Component, found && reg.Routed)
+		rs = newRouteState(ri.Component, found && reg.Routed, p.tracer)
 		p.routes[ri.Component] = rs
 		p.started[ri.Component] = true
 	}

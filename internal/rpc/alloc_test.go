@@ -34,10 +34,11 @@ func zeroAllocEchoPeer(conn net.Conn) {
 			continue
 		}
 		var hdr header
-		if err := hdr.decode(frame[1:]); err != nil {
+		n, err := hdr.decode(frame[1:])
+		if err != nil {
 			continue
 		}
-		args := frame[1+headerSize:]
+		args := frame[1+n:]
 		wbuf = append(wbuf[:0], 0, 0, 0, 0, frameResponse)
 		wbuf = binary.LittleEndian.AppendUint64(wbuf, hdr.id)
 		wbuf = append(wbuf, statusOK)
@@ -90,6 +91,67 @@ func TestAllocsClientCall(t *testing.T) {
 	allocs := testing.AllocsPerRun(200, call)
 	if allocs > 2 {
 		t.Errorf("client call path allocates %.1f allocs/op, budget is 2", allocs)
+	}
+}
+
+// TestAllocsMetaDefaultCall gates the zero-cost-metadata contract: a call
+// whose CallMeta is the zero value must cost exactly what a pre-metadata
+// call cost — the same 2-alloc budget as TestAllocsClientCall — because
+// default metadata encodes as the fixed header with no extension bytes.
+func TestAllocsMetaDefaultCall(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are nondeterministic under the race detector (sync.Pool drops Puts)")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+
+	cliSide, srvSide := net.Pipe()
+	defer cliSide.Close()
+	defer srvSide.Close()
+	go zeroAllocEchoPeer(srvSide)
+
+	c := NewClient("pipe", ClientOptions{
+		Dialer: func(ctx context.Context, addr string) (net.Conn, error) { return cliSide, nil },
+	})
+	defer c.Close()
+
+	method := MethodKey("alloc.Echo")
+	ctx := context.Background()
+	call := func() {
+		enc := codec.GetEncoder()
+		enc.Reserve(PayloadHeadroom)
+		enc.String("ping-pong payload")
+		resp, err := c.CallFramed(ctx, method, enc.Framed(), CallOptions{Meta: CallMeta{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Release()
+		codec.PutEncoder(enc)
+	}
+	call() // warm up: dial, pools, map buckets
+
+	allocs := testing.AllocsPerRun(200, call)
+	if allocs > 2 {
+		t.Errorf("default-meta call path allocates %.1f allocs/op, budget is 2", allocs)
+	}
+
+	// Non-default metadata may pay its varint bytes but still must not
+	// allocate: the extension is encoded into the buffer's headroom.
+	meta := CallOptions{Meta: CallMeta{Priority: PriorityHigh, Attempt: 1, Hedge: true}}
+	callMeta := func() {
+		enc := codec.GetEncoder()
+		enc.Reserve(PayloadHeadroom)
+		enc.String("ping-pong payload")
+		resp, err := c.CallFramed(ctx, method, enc.Framed(), meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Release()
+		codec.PutEncoder(enc)
+	}
+	callMeta()
+	allocs = testing.AllocsPerRun(200, callMeta)
+	if allocs > 2 {
+		t.Errorf("extended-meta call path allocates %.1f allocs/op, budget is 2", allocs)
 	}
 }
 

@@ -161,9 +161,11 @@ func TestBreakerStragglersIgnoredWhileOpen(t *testing.T) {
 }
 
 func TestBreakerGroupProbeRecovery(t *testing.T) {
+	clock := newFakeClock()
 	g := NewBreakerGroup(BreakerOptions{
 		MinSamples: 2,
-		Cooldown:   30 * time.Millisecond,
+		Cooldown:   time.Second,
+		now:        clock.now,
 	})
 	var probeFail atomic.Bool
 	probeFail.Store(true)
@@ -191,13 +193,18 @@ func TestBreakerGroupProbeRecovery(t *testing.T) {
 		t.Fatal("unrelated address reported unhealthy")
 	}
 
-	// While the probe keeps failing the replica must stay quarantined.
-	deadline := time.Now().Add(300 * time.Millisecond)
-	for time.Now().Before(deadline) {
+	// While the probe keeps failing the replica must stay quarantined:
+	// each cooldown expiry admits exactly one probe, the probe fails, and
+	// the breaker reopens without ever reporting healthy.
+	for round := int64(0); round < 3; round++ {
+		clock.advance(time.Second)
 		if g.Healthy("a") {
 			t.Fatal("replica reported healthy while probe fails")
 		}
-		time.Sleep(10 * time.Millisecond)
+		// The probe runs off the request path; wait for its verdict to
+		// land (half-open trial resolved, breaker open again).
+		waitFor(t, func() bool { return probeCalls.Load() > round })
+		waitFor(t, func() bool { return g.State("a") == BreakerOpen })
 	}
 	if probeCalls.Load() == 0 {
 		t.Fatal("no probe launched after cooldown")
@@ -205,30 +212,29 @@ func TestBreakerGroupProbeRecovery(t *testing.T) {
 
 	// Probe starts succeeding: the breaker must close.
 	probeFail.Store(false)
-	deadline = time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) && g.State("a") != BreakerClosed {
-		g.Healthy("a") // each evaluation may kick off a probe
-		time.Sleep(10 * time.Millisecond)
+	clock.advance(time.Second)
+	if g.Healthy("a") {
+		t.Fatal("replica reported healthy before the probe's verdict")
 	}
-	if got := g.State("a"); got != BreakerClosed {
-		t.Fatalf("breaker never closed after probe recovery: %v", got)
-	}
+	waitFor(t, func() bool { return g.State("a") == BreakerClosed })
 	if !g.Healthy("a") {
 		t.Fatal("closed breaker reported unhealthy")
 	}
 }
 
 func TestBreakerGroupNoProbeAdmitsSingleTrial(t *testing.T) {
+	clock := newFakeClock()
 	g := NewBreakerGroup(BreakerOptions{
 		MinSamples: 2,
-		Cooldown:   20 * time.Millisecond,
+		Cooldown:   time.Second,
+		now:        clock.now,
 	})
 	g.Report("a", true)
 	g.Report("a", true)
 	if g.Healthy("a") {
 		t.Fatal("open breaker reported healthy")
 	}
-	time.Sleep(40 * time.Millisecond)
+	clock.advance(time.Second)
 	// With no probe configured, exactly one real request is the trial.
 	if !g.Healthy("a") {
 		t.Fatal("half-open trial not admitted after cooldown")

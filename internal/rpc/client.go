@@ -19,8 +19,12 @@ import (
 type CallOptions struct {
 	// Shard is the routing affinity key hash; zero means unrouted.
 	Shard uint64
-	// Trace is the span context propagated to the callee.
+	// Trace is the span context propagated to the callee, including the
+	// root tracer's sampling decision (flagSampled on the wire).
 	Trace tracing.SpanContext
+	// Meta is the call's admission metadata (priority class, attempt
+	// ordinal, hedge marker). The zero value costs nothing on the wire.
+	Meta CallMeta
 }
 
 // ErrOverloaded is returned (wrapped in a *TransportError) when the server
@@ -494,6 +498,13 @@ func (cc *clientConn) roundTrip(ctx context.Context, method MethodID, framed []b
 		span:   uint64(opts.Trace.Span),
 		parent: uint64(opts.Trace.Parent),
 		shard:  opts.Shard,
+		meta:   opts.Meta,
+	}
+	if opts.Meta.Hedge {
+		hdr.flags |= flagHedge
+	}
+	if opts.Trace.Sampled {
+		hdr.flags |= flagSampled
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		hdr.deadline = dl.UnixNano()
@@ -526,14 +537,25 @@ func (cc *clientConn) roundTrip(ctx context.Context, method MethodID, framed []b
 
 	var werr error
 	if inPlace {
-		framed[4] = frameRequest
-		hdr.encode(framed[5 : 5+headerSize])
-		werr = cc.writeFramed(framed)
+		// The headroom is filled right-aligned: the meta extension (0 to
+		// metaExtMax bytes) sits immediately before the args, and the frame
+		// start shifts left to absorb whatever extension space is unused,
+		// so the args never move and default-meta calls write the exact
+		// frame they always did.
+		ext := hdr.meta.extSize()
+		if ext > 0 {
+			hdr.flags |= flagMetaExt
+			hdr.meta.encodeExt(framed[PayloadHeadroom-ext : PayloadHeadroom])
+		}
+		start := metaExtMax - ext
+		framed[start+4] = frameRequest
+		hdr.encode(framed[start+5 : start+5+headerSize])
+		werr = cc.writeFramed(framed[start:])
 	} else {
-		var buf [1 + headerSize]byte
+		var buf [1 + headerSize + metaExtMax]byte
 		buf[0] = frameRequest
-		hdr.encode(buf[1:])
-		werr = cc.write(buf[:], args)
+		n := hdr.encodeWithExt(buf[1:])
+		werr = cc.write(buf[:1+n], args)
 	}
 	if comp != nil {
 		// write blocks until the frame is on the wire (or abandoned), so

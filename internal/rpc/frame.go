@@ -12,11 +12,19 @@
 // Framing: every frame is a 4-byte little-endian payload length followed by
 // the payload. The first payload byte is the frame type.
 //
-//	request:  id, method hash, deadline, trace context, shard, args
+//	request:  id, method hash, deadline, span context (trace id, span id,
+//	          parent span id), shard, flags, optional meta extension
+//	          (priority class + attempt ordinal as uvarints, present only
+//	          when flagMetaExt is set), args
 //	response: id, status, payload (result bytes or error text)
 //	cancel:   id
 //	ping:     nonce     (liveness probes, answered with pong)
 //	pong:     nonce
+//
+// Per-call metadata that is almost always default — hedge marker, sampled
+// bit, priority, attempt number — rides the flags byte and the optional
+// meta extension, so the common call pays zero extra bytes and zero extra
+// allocations for it.
 //
 // Connections are multiplexed: many in-flight calls share one TCP
 // connection, correlated by id. Cancellation propagates with an explicit
@@ -56,10 +64,13 @@ const maxFrameSize = 512 << 20
 
 // PayloadHeadroom is the scratch space a caller must reserve at the front
 // of a request buffer passed to Client.CallFramed: the 4-byte length
-// prefix, the frame type byte, and the fixed request header. The transport
-// fills the headroom in place and writes the buffer with a single Write,
-// so an encoded payload travels from codec to wire without being copied.
-const PayloadHeadroom = 4 + 1 + headerSize
+// prefix, the frame type byte, the fixed request header, and room for a
+// fully populated meta extension. The transport fills the headroom in
+// place — right-aligned, so a call with default metadata leaves the first
+// metaExtMax bytes unused rather than shifting the payload — and writes
+// the buffer with a single Write, so an encoded payload travels from
+// codec to wire without being copied.
+const PayloadHeadroom = 4 + 1 + headerSize + metaExtMax
 
 // ResponseHeadroom is the scratch space a FramedHandler must reserve at
 // the front of its result buffer: the 4-byte length prefix, the frame type
@@ -80,7 +91,9 @@ func MethodKey(fullName string) MethodID {
 }
 
 // header is the fixed-size portion of a request frame, following the type
-// byte. All fields are little-endian.
+// byte. All fields are little-endian. When flagMetaExt is set in flags, a
+// variable-length meta extension (see CallMeta) follows the fixed header;
+// args begin after it.
 //
 //	offset size field
 //	0      8    request id
@@ -91,6 +104,8 @@ func MethodKey(fullName string) MethodID {
 //	36     8    parent span id
 //	44     8    shard key (routing affinity; 0 = unrouted)
 //	52     1    flags
+//	53     0-4  meta extension: uvarint priority, uvarint attempt
+//	            (present only when flagMetaExt is set)
 const headerSize = 53
 
 // header flag bits.
@@ -103,6 +118,15 @@ const (
 	// flagPayloadCompressed marks the request payload itself as
 	// flate-compressed.
 	flagPayloadCompressed = 1 << 1
+	// flagHedge marks this request as a hedged duplicate of an outstanding
+	// first attempt; admission may drop queued hedges first.
+	flagHedge = 1 << 2
+	// flagSampled carries the root tracer's sampling decision, so every
+	// hop of a multi-process trace records spans iff the root did.
+	flagSampled = 1 << 3
+	// flagMetaExt marks the presence of the variable meta extension
+	// (priority, attempt) after the fixed header.
+	flagMetaExt = 1 << 4
 )
 
 type header struct {
@@ -114,8 +138,12 @@ type header struct {
 	parent   uint64
 	shard    uint64
 	flags    uint8
+	meta     CallMeta
 }
 
+// encode writes the fixed 53-byte header. Callers sending non-default
+// meta use encodeWithExt instead; plain encode is the default-meta fast
+// path (h.flags must not claim an extension that is not written).
 func (h *header) encode(b []byte) {
 	_ = b[headerSize-1]
 	binary.LittleEndian.PutUint64(b[0:], h.id)
@@ -128,9 +156,28 @@ func (h *header) encode(b []byte) {
 	b[52] = h.flags
 }
 
-func (h *header) decode(b []byte) error {
+// encodeWithExt writes the fixed header followed by the meta extension
+// when h.meta has non-default priority or attempt, setting flagMetaExt
+// accordingly. It returns the total bytes written (headerSize when the
+// extension is empty). b must have room for headerSize+metaExtMax bytes.
+func (h *header) encodeWithExt(b []byte) int {
+	ext := h.meta.extSize()
+	if ext > 0 {
+		h.flags |= flagMetaExt
+	}
+	h.encode(b)
+	if ext > 0 {
+		h.meta.encodeExt(b[headerSize:])
+	}
+	return headerSize + ext
+}
+
+// decode parses the fixed header and, when flagMetaExt is set, the meta
+// extension. It returns the total header bytes consumed — the offset at
+// which the args payload begins.
+func (h *header) decode(b []byte) (int, error) {
 	if len(b) < headerSize {
-		return fmt.Errorf("rpc: short request header: %d bytes", len(b))
+		return 0, fmt.Errorf("rpc: short request header: %d bytes", len(b))
 	}
 	h.id = binary.LittleEndian.Uint64(b[0:])
 	h.method = MethodID(binary.LittleEndian.Uint32(b[8:]))
@@ -140,7 +187,16 @@ func (h *header) decode(b []byte) error {
 	h.parent = binary.LittleEndian.Uint64(b[36:])
 	h.shard = binary.LittleEndian.Uint64(b[44:])
 	h.flags = b[52]
-	return nil
+	h.meta = CallMeta{Hedge: h.flags&flagHedge != 0}
+	n := headerSize
+	if h.flags&flagMetaExt != 0 {
+		k, err := h.meta.decodeExt(b[headerSize:])
+		if err != nil {
+			return 0, err
+		}
+		n += k
+	}
+	return n, nil
 }
 
 // A frameBuf is a pooled scratch buffer used for frame assembly and frame

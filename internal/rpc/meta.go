@@ -1,0 +1,137 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Priority is a call's admission class. It orders load shedding under
+// MaxInflight pressure: when the server must refuse work, lower shedRank
+// classes are refused first (paper §5: load shedding belongs in the
+// runtime, and tail behavior under overload is dominated by how the server
+// orders shedding).
+//
+// The zero value is PriorityNormal so that the wire encoding of the
+// default class is empty: a call with default metadata adds no bytes to
+// the fixed request header. Codegen emits these numeric values directly
+// (codegen.MethodSpec.Priority mirrors this numbering to avoid importing
+// this package from generated registration code).
+type Priority uint8
+
+const (
+	// PriorityNormal is the default class.
+	PriorityNormal Priority = 0
+	// PriorityLow marks work to shed first: prefetches, cache warms,
+	// best-effort reads.
+	PriorityLow Priority = 1
+	// PriorityHigh marks latency-sensitive interactive work.
+	PriorityHigh Priority = 2
+	// PriorityCritical marks work that must not be shed while anything
+	// lower-ranked is still admitted (checkout, payment).
+	PriorityCritical Priority = 3
+)
+
+// numPriorities is the number of admission classes (and shed ranks).
+const numPriorities = 4
+
+// shedRank maps a priority class to its shedding order: rank 0 is shed
+// first. PriorityLow ranks below the default class; PriorityHigh and
+// PriorityCritical above it.
+func (p Priority) shedRank() int {
+	switch p {
+	case PriorityLow:
+		return 0
+	case PriorityNormal:
+		return 1
+	case PriorityHigh:
+		return 2
+	default: // PriorityCritical and any unknown future class
+		return 3
+	}
+}
+
+// priorityByRank is the inverse of shedRank, for iterating classes in
+// shedding order.
+var priorityByRank = [numPriorities]Priority{PriorityLow, PriorityNormal, PriorityHigh, PriorityCritical}
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityNormal:
+		return "normal"
+	case PriorityHigh:
+		return "high"
+	case PriorityCritical:
+		return "critical"
+	}
+	return fmt.Sprintf("priority(%d)", uint8(p))
+}
+
+// CallMeta is the per-call metadata that rides the request header. The
+// zero value is the common case and costs nothing on the wire: Hedge is a
+// flag bit, and Priority/Attempt travel in an optional varint header
+// extension that is present only when one of them is non-zero
+// (flagMetaExt). Servers use it to shed the right work first under
+// overload and to drop queued hedge duplicates whose caller has already
+// gone away.
+type CallMeta struct {
+	// Priority is the admission class used by priority-aware shedding.
+	Priority Priority
+	// Attempt is the retry ordinal of this transmission (0 = first send).
+	Attempt uint8
+	// Hedge marks a hedged duplicate of a still-outstanding first attempt.
+	Hedge bool
+}
+
+// metaExtMax bounds the encoded size of the meta header extension:
+// two uvarints (priority, attempt) of at most two bytes each. It is part
+// of PayloadHeadroom so zero-copy callers always reserve enough scratch
+// for a fully populated extension.
+const metaExtMax = 4
+
+// extSize returns the encoded size of the meta extension: 0 when priority
+// and attempt are both default (the extension is omitted entirely).
+func (m *CallMeta) extSize() int {
+	if m.Priority == 0 && m.Attempt == 0 {
+		return 0
+	}
+	n := 1
+	if m.Priority >= 0x80 {
+		n++
+	}
+	if m.Attempt < 0x80 {
+		n++
+	} else {
+		n += 2
+	}
+	return n
+}
+
+// encodeExt writes the meta extension into b and returns the bytes
+// written. The caller must have checked extSize > 0 and sized b to at
+// least metaExtMax.
+func (m *CallMeta) encodeExt(b []byte) int {
+	n := binary.PutUvarint(b, uint64(m.Priority))
+	n += binary.PutUvarint(b[n:], uint64(m.Attempt))
+	return n
+}
+
+// decodeExt parses the meta extension from b, returning the bytes
+// consumed.
+func (m *CallMeta) decodeExt(b []byte) (int, error) {
+	p, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, fmt.Errorf("rpc: truncated meta extension (priority)")
+	}
+	a, n2 := binary.Uvarint(b[n:])
+	if n2 <= 0 {
+		return 0, fmt.Errorf("rpc: truncated meta extension (attempt)")
+	}
+	if p > 0xff || a > 0xff {
+		return 0, fmt.Errorf("rpc: meta extension out of range (priority=%d attempt=%d)", p, a)
+	}
+	m.Priority = Priority(p)
+	m.Attempt = uint8(a)
+	return n + n2, nil
+}

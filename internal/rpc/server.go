@@ -48,8 +48,13 @@ type FramedHandler func(ctx context.Context, args []byte) (framed []byte, owner 
 // InfoFromContext.
 type CallInfo struct {
 	Method string
-	Trace  tracing.SpanContext
-	Shard  uint64
+	// Trace is the inbound span context; its Sampled bit is the root
+	// tracer's decision carried on the wire (flagSampled).
+	Trace tracing.SpanContext
+	Shard uint64
+	// Meta is the call's wire metadata: priority class, attempt ordinal,
+	// hedge marker.
+	Meta CallMeta
 }
 
 type callInfoKey struct{}
@@ -90,10 +95,15 @@ type Server struct {
 	closed   bool
 	wg       sync.WaitGroup
 
-	// Admission control: slots is a semaphore over executing handlers
-	// (nil when unlimited); queued counts waiters for a slot.
-	slots  chan struct{}
+	// Admission control: adm is the priority-aware admission gate (nil
+	// when unlimited); queued mirrors its wait-queue depth.
+	adm    *admitter
 	queued atomic.Int64
+
+	// Dispatch interceptor chain (see ServerInterceptor). chain is
+	// rebuilt under mu by Use and read under mu by dispatch.
+	interceptors []ServerInterceptor
+	chain        ServerNext
 
 	// Drain state: once draining is set, new requests are answered with
 	// statusUnavailable (never executed, so callers retry elsewhere) while
@@ -118,6 +128,10 @@ type Server struct {
 	rxBytes   *metrics.Counter
 	txBytes   *metrics.Counter
 	flushHist *metrics.Histogram
+	// Per-priority-class admission outcomes, indexed by shed rank.
+	admittedByClass [numPriorities]*metrics.Counter
+	shedByClass     [numPriorities]*metrics.Counter
+	hedgeDropMetric *metrics.Counter
 }
 
 type registeredHandler struct {
@@ -157,11 +171,18 @@ func NewServerWithOptions(opts ServerOptions) *Server {
 		txBytes:  metrics.Default.Counter("rpc.server.tx_bytes"),
 
 		flushHist: metrics.Default.Histogram("rpc.server.flush_batch_frames", flushBatchBuckets),
+
+		hedgeDropMetric: metrics.Default.Counter("rpc.server.hedge_dropped"),
+	}
+	for rank, p := range priorityByRank {
+		s.admittedByClass[rank] = metrics.Default.Counter("rpc.server.admitted." + p.String())
+		s.shedByClass[rank] = metrics.Default.Counter("rpc.server.shed." + p.String())
 	}
 	s.opts.Clock = clock.Or(opts.Clock)
 	if opts.MaxInflight > 0 {
-		s.slots = make(chan struct{}, opts.MaxInflight)
+		s.adm = newAdmitter(opts.MaxInflight, opts.MaxQueue, &s.queued, s.hedgeDropMetric)
 	}
+	s.rebuildChainLocked()
 	return s
 }
 
@@ -178,42 +199,22 @@ func (s *Server) SetFlushStall(d time.Duration) { s.flushStallNanos.Store(int64(
 
 // admit blocks until the request may execute, or reports that it must be
 // shed. With no limit configured every request is admitted immediately.
-// At capacity the request waits in a bounded queue; it is shed if the
-// queue is full, or if its deadline expires (or its caller cancels)
-// before a slot frees — executing it then would be wasted work.
-func (s *Server) admit(ctx context.Context) bool {
-	if s.slots == nil {
+// At capacity the request waits in a bounded queue ordered by the meta's
+// priority class; it is shed if the queue is full of equal-or-higher
+// priority work, if a higher-priority arrival evicts it, or if its
+// deadline expires (or its caller cancels) before a slot frees —
+// executing it then would be wasted work.
+func (s *Server) admit(ctx context.Context, meta CallMeta) bool {
+	if s.adm == nil {
 		return true
 	}
-	select {
-	case s.slots <- struct{}{}:
-		return true
-	default:
-	}
-	if s.opts.MaxQueue <= 0 || ctx.Err() != nil {
-		return false
-	}
-	if s.queued.Add(1) > int64(s.opts.MaxQueue) {
-		s.queued.Add(-1)
-		return false
-	}
-	defer s.queued.Add(-1)
-	select {
-	case s.slots <- struct{}{}:
-		if ctx.Err() != nil {
-			<-s.slots
-			return false
-		}
-		return true
-	case <-ctx.Done():
-		return false
-	}
+	return s.adm.admit(ctx, meta)
 }
 
 // release returns an execution slot.
 func (s *Server) release() {
-	if s.slots != nil {
-		<-s.slots
+	if s.adm != nil {
+		s.adm.release()
 	}
 }
 
@@ -397,11 +398,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		switch typ {
 		case frameRequest:
 			var hdr header
-			if err := hdr.decode(payload); err != nil {
+			n, err := hdr.decode(payload)
+			if err != nil {
 				putFrame(fb)
 				continue // malformed; drop
 			}
-			args := payload[headerSize:]
+			args := payload[n:]
 			s.requests.Inc()
 
 			var ctx context.Context
@@ -469,11 +471,14 @@ func (s *Server) handleRequest(ctx context.Context, cw *connWriter, hdr header, 
 		args = inflated
 	}
 
-	if !s.admit(ctx) {
+	rank := hdr.meta.Priority.shedRank()
+	if !s.admit(ctx, hdr.meta) {
 		s.shed.Inc()
+		s.shedByClass[rank].Inc()
 		_ = cw.respond(hdr.id, statusOverloaded, nil)
 		return
 	}
+	s.admittedByClass[rank].Inc()
 	result, framed, owner, herr := s.dispatch(ctx, hdr, args)
 	s.release()
 
@@ -585,14 +590,16 @@ func (cw *connWriter) respondFramed(id uint64, status byte, framed []byte) error
 	return cw.fl.write(framed, nil, nil)
 }
 
-// dispatch runs the handler for hdr.method, converting panics into errors
-// so one bad request cannot take down the proclet. For framed handlers it
-// reports framed=true: result then carries ResponseHeadroom scratch ahead
-// of the payload, and owner (when non-nil) must be released once the
-// result bytes are no longer referenced.
+// dispatch runs the interceptor chain (ending in the handler) for
+// hdr.method, converting panics into errors so one bad request cannot
+// take down the proclet. For framed handlers it reports framed=true:
+// result then carries ResponseHeadroom scratch ahead of the payload, and
+// owner (when non-nil) must be released once the result bytes are no
+// longer referenced.
 func (s *Server) dispatch(ctx context.Context, hdr header, args []byte) (result []byte, framed bool, owner BufOwner, err error) {
 	s.mu.Lock()
 	h, ok := s.handlers[hdr.method]
+	chain := s.chain
 	if ok && !h.tombstone {
 		h.inflight.Add(1)
 	}
@@ -613,8 +620,14 @@ func (s *Server) dispatch(ctx context.Context, hdr header, args []byte) (result 
 
 	info := CallInfo{
 		Method: h.name,
-		Trace:  tracing.SpanContext{Trace: tracing.TraceID(hdr.trace), Span: tracing.SpanID(hdr.span), Parent: tracing.SpanID(hdr.parent)},
-		Shard:  hdr.shard,
+		Trace: tracing.SpanContext{
+			Trace:   tracing.TraceID(hdr.trace),
+			Span:    tracing.SpanID(hdr.span),
+			Parent:  tracing.SpanID(hdr.parent),
+			Sampled: hdr.flags&flagSampled != 0,
+		},
+		Shard: hdr.shard,
+		Meta:  hdr.meta,
 	}
 	ctx = context.WithValue(ctx, callInfoKey{}, info)
 	if info.Trace.Valid() {
@@ -623,21 +636,14 @@ func (s *Server) dispatch(ctx context.Context, hdr header, args []byte) (result 
 	if err := ctx.Err(); err != nil {
 		return nil, false, nil, err
 	}
-	if d := time.Duration(s.delayNanos.Load()); d > 0 {
-		timer := s.opts.Clock.NewTimer(d)
-		defer timer.Stop()
-		select {
-		case <-timer.C():
-		case <-ctx.Done():
-			return nil, false, nil, ctx.Err()
-		}
-	}
-	if h.ffn != nil {
-		result, owner, err = h.ffn(ctx, args)
-		return result, err == nil, owner, err
-	}
-	result, err = h.fn(ctx, args)
-	return result, false, nil, err
+	// Run the chain on a pooled call carrier; on panic the carrier is
+	// abandoned rather than pooled (its fields may be mid-mutation).
+	sc := getServerCall()
+	sc.Info, sc.Args, sc.handler = info, args, h
+	err = chain(ctx, sc)
+	result, framed, owner = sc.result, sc.framed, sc.owner
+	putServerCall(sc)
+	return result, framed, owner, err
 }
 
 // ErrShutdown is returned for calls attempted on a closed client.

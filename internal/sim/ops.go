@@ -14,8 +14,9 @@ type Kind int
 // The op grammar. Workload ops exercise three call shapes: direct
 // affinity-routed calls (Put/Get), calls relayed through an unrouted
 // component colocated with its routed callee (ProxyPut/ProxyGet — the shape
-// that historically dispatched blindly to the local replica), and
-// at-most-once calls (Deliver, weaver:noretry). Fault ops drive the
+// that historically dispatched blindly to the local replica), at-most-once
+// calls (Deliver, weaver:noretry), and mixed-priority bursts that saturate
+// admission so low-priority work gets shed. Fault ops drive the
 // deployment fabric: crash-and-restart, explicit resharding, live
 // re-placement, and data-plane degradation.
 const (
@@ -32,6 +33,17 @@ const (
 	OpRestore              // remove injected delay
 	OpDegradeBatch         // stall a replica's response flusher (forces write coalescing)
 	OpRestoreBatch         // remove injected flush stall
+	OpBurst                // mixed-priority burst: concurrent low Gets + high Delivers
+)
+
+// Burst shape: enough concurrent low-priority Store.Gets to saturate a
+// replica's MaxInflight+MaxQueue admission budget, racing a handful of
+// at-most-once high-priority Mover.Delivers. The point is to shed
+// low-priority work mid-schedule and then check that the delivery ledger
+// still balances (checkAMO).
+const (
+	burstGets     = 10
+	burstDelivers = 4
 )
 
 // Op is one step of a simulated schedule. Which fields are meaningful
@@ -40,8 +52,8 @@ const (
 // trace stays executable as replicas die, restart, and get renamed.
 type Op struct {
 	Kind  Kind
-	Key   string // OpPut/OpGet/OpProxyPut/OpProxyGet
-	Val   int64  // value written (puts) or sequence number (OpDeliver)
+	Key   string // OpPut/OpGet/OpProxyPut/OpProxyGet/OpBurst
+	Val   int64  // value written (puts) or sequence number (OpDeliver; first of burstDelivers for OpBurst)
 	Group string // fault target: "kv" or "mv" (Mover's current group)
 	Index int    // abstract replica index for OpKill/OpDegrade/OpRestore
 	N     int    // target size for OpScale
@@ -75,6 +87,8 @@ func (o Op) String() string {
 		return fmt.Sprintf("degrade-dataplane-batching %s[%d]", o.Group, o.Index)
 	case OpRestoreBatch:
 		return fmt.Sprintf("restore-dataplane-batching %s[%d]", o.Group, o.Index)
+	case OpBurst:
+		return fmt.Sprintf("burst %dx get %s + delivers %d..%d", burstGets, o.Key, o.Val, o.Val+burstDelivers-1)
 	}
 	return fmt.Sprintf("op(%d)", int(o.Kind))
 }
@@ -115,8 +129,12 @@ func Generate(seed uint64, n int) []Op {
 		case r < 38:
 			nextVal++
 			ops = append(ops, Op{Kind: OpProxyPut, Key: key(), Val: nextVal})
-		case r < 54:
+		case r < 50:
 			ops = append(ops, Op{Kind: OpProxyGet, Key: key()})
+		case r < 54:
+			first := nextSeq + 1
+			nextSeq += burstDelivers
+			ops = append(ops, Op{Kind: OpBurst, Key: key(), Val: first})
 		case r < 64:
 			nextSeq++
 			ops = append(ops, Op{Kind: OpDeliver, Val: nextSeq})

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"reflect"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -155,6 +156,11 @@ func newWorld(ctx context.Context, bypass bool) (*world, error) {
 			// manager heal any number of injected crashes.
 			ScaleInterval: time.Hour,
 			MaxRestarts:   1000,
+			// Tight admission budgets so OpBurst's concurrent low-priority
+			// reads overflow the queue and get shed; sequential ops never
+			// come close to the limit.
+			MaxInflightPerReplica: 2,
+			MaxOverloadQueue:      2,
 			Logger:        logging.New(logging.Options{Component: "manager", Min: logging.LevelError}),
 		},
 		Fill:                     fill,
@@ -325,6 +331,51 @@ func (w *world) apply(ctx context.Context, i int, op Op) (string, error) {
 		w.tried[op.Val] = true
 		if _, err := w.mover.Deliver(step, op.Val); err == nil {
 			w.acked[op.Val] = true
+		}
+		if v := w.checkAMO(fmt.Sprintf("op %d (%s)", i, op)); v != "" {
+			return v, nil
+		}
+
+	case OpBurst:
+		// Saturate admission with concurrent low-priority reads while
+		// at-most-once high-priority delivers race them. Shedding is the
+		// expected outcome for some of the reads (availability is not the
+		// invariant); what must hold afterwards is that any read that did
+		// succeed saw the register value and that the delivery ledger still
+		// balances — no acked deliver lost, none executed twice.
+		for seq := op.Val; seq < op.Val+burstDelivers; seq++ {
+			w.tried[seq] = true
+		}
+		gets := make([]int64, burstGets)
+		getErrs := make([]error, burstGets)
+		delErrs := make([]error, burstDelivers)
+		var wg sync.WaitGroup
+		for j := 0; j < burstGets; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				gets[j], getErrs[j] = w.store.Get(step, op.Key)
+			}(j)
+		}
+		for j := 0; j < burstDelivers; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				_, delErrs[j] = w.mover.Deliver(step, op.Val+int64(j))
+			}(j)
+		}
+		wg.Wait()
+		for j, err := range delErrs {
+			if err == nil {
+				w.acked[op.Val+int64(j)] = true
+			}
+		}
+		if want, ok := w.expect[op.Key]; ok {
+			for j, err := range getErrs {
+				if err == nil && gets[j] != want {
+					return fmt.Sprintf("op %d (%s): burst read #%d of %q = %d, want %d", i, op, j, op.Key, gets[j], want), nil
+				}
+			}
 		}
 		if v := w.checkAMO(fmt.Sprintf("op %d (%s)", i, op)); v != "" {
 			return v, nil

@@ -103,6 +103,7 @@ type Mover interface {
 	// Deliver records one sequence number on the serving replica.
 	//
 	//weaver:noretry
+	//weaver:priority=high
 	Deliver(ctx context.Context, seq int64) (int64, error)
 }
 
@@ -160,6 +161,10 @@ func (m *moverImpl) Deliver(_ context.Context, seq int64) (int64, error) {
 // calls land on a replica the assignment does not map the key to.
 type Store interface {
 	Put(ctx context.Context, key string, val int64) (int64, error)
+	// Get is marked low-priority so overload tests and the simulator can
+	// watch the admission gate shed reads before writes and deliveries.
+	//
+	//weaver:priority=low
 	Get(ctx context.Context, key string) (int64, error)
 }
 

@@ -23,6 +23,11 @@ type SpanContext struct {
 	Trace  TraceID
 	Span   SpanID
 	Parent SpanID
+	// Sampled is the root tracer's sampling decision: made once where the
+	// trace starts and carried to every hop (a flag bit on the wire), so a
+	// multi-process trace is recorded in full or not at all, even if
+	// processes were configured with different sampling fractions.
+	Sampled bool
 }
 
 // Valid reports whether the context carries a real trace.
@@ -56,9 +61,10 @@ func NewTrace() SpanContext {
 	return SpanContext{Trace: TraceID(nonZero()), Span: SpanID(nonZero())}
 }
 
-// Child returns a new child context of sc.
+// Child returns a new child context of sc, inheriting the sampling
+// decision.
 func (sc SpanContext) Child() SpanContext {
-	return SpanContext{Trace: sc.Trace, Span: SpanID(nonZero()), Parent: sc.Span}
+	return SpanContext{Trace: sc.Trace, Span: SpanID(nonZero()), Parent: sc.Span, Sampled: sc.Sampled}
 }
 
 func nonZero() uint64 {
@@ -108,11 +114,26 @@ func (r *Recorder) Sampled(t TraceID) bool {
 	return float64(t)/float64(^uint64(0)) < r.fraction
 }
 
-// Record stores a completed span if its trace is sampled.
+// Record stores a completed span if its trace is sampled by this
+// recorder's fraction. Callers holding a SpanContext should prefer
+// RecordSampled, which honors the root's decision carried on the wire.
 func (r *Recorder) Record(s Span) {
 	if r == nil || !r.Sampled(TraceID(s.Trace)) {
 		return
 	}
+	r.record(s)
+}
+
+// RecordSampled stores a completed span iff sampled — the decision the
+// trace's root made, regardless of this recorder's own fraction.
+func (r *Recorder) RecordSampled(s Span, sampled bool) {
+	if r == nil || !sampled {
+		return
+	}
+	r.record(s)
+}
+
+func (r *Recorder) record(s Span) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.spans = append(r.spans, s)

@@ -1,7 +1,20 @@
-.PHONY: check build vet test race allocs bench bench-json sim sim-soak
+.PHONY: check build vet lint test race allocs bench bench-json sim sim-soak
 
 # Tier-1 verification: everything a PR must keep green.
-check: vet build race allocs sim
+check: vet lint build race allocs sim
+
+# Lint gate: gofmt cleanliness, plus the control plane's single-routing-site
+# invariant (DESIGN.md §14): routing-mutation envelope calls inside
+# internal/manager may appear only in the actuator.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt: files need formatting:"; echo "$$out"; exit 1; fi
+	@out=$$(grep -rn -E 'SendRoutingInfo|CallRoutingInfo|PushRoutingInfo' \
+		--include='*.go' internal/manager \
+		| grep -v '^internal/manager/actuator\.go:' || true); \
+	if [ -n "$$out" ]; then \
+		echo "routing mutation outside internal/manager/actuator.go:"; \
+		echo "$$out"; exit 1; fi
 
 build:
 	go build ./...

@@ -81,12 +81,14 @@ func rolloutRun(args []string) {
 	}
 	logger.Info("new version serving", "binary", newBin, "addr", newHTTP)
 
+	// The shift schedule is a pure rollout.Plan; this loop only actuates it.
+	plan := rollout.Plan{Steps: *steps, Step: *stepDur}
 	director.Begin("new")
-	for step := 1; step <= *steps; step++ {
-		w := float64(step) / float64(*steps)
+	for elapsed := time.Duration(0); !plan.Done(elapsed); elapsed += plan.Step {
+		w := plan.WeightAt(elapsed)
 		director.SetWeight(w)
 		logger.Info("traffic shifted", "newVersionWeight", fmt.Sprintf("%.0f%%", w*100))
-		time.Sleep(*stepDur)
+		time.Sleep(plan.Step)
 	}
 	director.Finish()
 	logger.Info("rollout complete; stopping old version")

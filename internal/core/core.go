@@ -530,7 +530,7 @@ func (mc *measuredConn) Invoke(ctx context.Context, component string, m *codegen
 	return err
 }
 
-/// ShortName trims the package path from a full component name:
+// ShortName trims the package path from a full component name:
 // "repro/internal/boutique/CartService" -> "CartService".
 func ShortName(full string) string {
 	if i := strings.LastIndexByte(full, '/'); i >= 0 {

@@ -1,0 +1,129 @@
+package cplane
+
+import (
+	"sort"
+	"time"
+)
+
+// StartAction asks the actuator to launch N replicas of a group, after an
+// optional backoff (crash restarts wait a beat before relaunching).
+type StartAction struct {
+	Group   string
+	N       int
+	Backoff time.Duration
+}
+
+// StopAction asks the actuator to gracefully stop one replica.
+type StopAction struct {
+	Group   string
+	Replica string
+}
+
+// Actions is the plan the actuator executes to drive the observed state
+// toward the desired one. Ordering guarantee: routing pushes for a group
+// are broadcast before its stops are issued, so no proclet keeps routing
+// to a replica that is draining.
+type Actions struct {
+	Start []StartAction
+	Stop  []StopAction
+	Push  []string // groups whose routing must be re-broadcast
+}
+
+// Empty reports whether the plan contains no work.
+func (a Actions) Empty() bool {
+	return len(a.Start) == 0 && len(a.Stop) == 0 && len(a.Push) == 0
+}
+
+// Diff compares an observed state against a reconciler's desired state and
+// returns the actions that drive the fabric toward it:
+//
+//   - a group whose desired Starting exceeds the observed one gets a
+//     StartAction for the difference;
+//   - replicas newly marked Stopping get StopActions;
+//   - groups whose routable surface changed — replicas added or removed,
+//     health or stopping flips, component hosting changed — get a routing
+//     Push.
+//
+// Diff is pure: it never touches envelopes and never draws epochs. The
+// actuator owns both.
+func Diff(obs, des *State) Actions {
+	var acts Actions
+	names := map[string]bool{}
+	for name := range obs.Groups {
+		names[name] = true
+	}
+	for name := range des.Groups {
+		names[name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	for _, name := range sorted {
+		og, dg := obs.Groups[name], des.Groups[name]
+		if dg == nil {
+			continue // groups are never removed at runtime
+		}
+		if og == nil {
+			// New group: nothing runs yet, nothing to push.
+			if dg.Starting > 0 {
+				acts.Start = append(acts.Start, StartAction{Group: name, N: dg.Starting})
+			}
+			continue
+		}
+		if n := dg.Starting - og.Starting; n > 0 {
+			acts.Start = append(acts.Start, StartAction{Group: name, N: n})
+		}
+		dirty := !equalStrings(og.Components, dg.Components)
+		ids := make([]string, 0, len(dg.Replicas))
+		for id := range dg.Replicas {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			dr := dg.Replicas[id]
+			or := og.Replicas[id]
+			switch {
+			case or == nil:
+				dirty = true // replica appeared
+			case dr.Stopping && !or.Stopping:
+				acts.Stop = append(acts.Stop, StopAction{Group: name, Replica: id})
+				dirty = true
+			case dr.Healthy != or.Healthy || dr.Ready != or.Ready || dr.Addr != or.Addr:
+				dirty = true
+			}
+		}
+		for id := range og.Replicas {
+			if dg.Replicas[id] == nil {
+				dirty = true // replica removed
+			}
+		}
+		if dirty {
+			acts.Push = append(acts.Push, name)
+		}
+	}
+	return acts
+}
+
+// Commit adopts the desired state as the working copy's new contents.
+// Reconcilers express launches by raising Starting in the desired state,
+// so committing it is the start bookkeeping: concurrent reconcile passes
+// see the in-flight launches immediately. Call inside Store.Update, after
+// Diff.
+func Commit(s, des *State) {
+	s.ReplaceWith(des)
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

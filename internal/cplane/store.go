@@ -1,0 +1,80 @@
+package cplane
+
+import "sync"
+
+// Store holds the current control-plane State and evolves it
+// copy-on-write: every Update clones the current version, applies the
+// mutation to the clone, bumps Version, and publishes it atomically.
+// Snapshots handed out are immutable — readers never see a torn state and
+// never block writers.
+type Store struct {
+	mu       sync.Mutex
+	cur      *State
+	watchers map[int]chan *State
+	nextW    int
+}
+
+// NewStore builds a store seeded with init (which the store takes
+// ownership of).
+func NewStore(init *State) *Store {
+	if init == nil {
+		init = NewState()
+	}
+	init.Version = 1
+	return &Store{cur: init, watchers: map[int]chan *State{}}
+}
+
+// Snapshot returns the current state. The caller must not mutate it.
+func (st *Store) Snapshot() *State {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.cur
+}
+
+// Update clones the current state, applies fn to the clone, assigns the
+// next version, and publishes it. fn sees the pre-bump Version and must
+// not retain the working copy beyond the call. The published state is
+// returned.
+func (st *Store) Update(fn func(s *State)) *State {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	work := st.cur.Clone()
+	fn(work)
+	work.Version = st.cur.Version + 1
+	st.cur = work
+	for _, ch := range st.watchers {
+		// Latest-wins: drop the stale buffered version, never block.
+		select {
+		case ch <- work:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- work:
+			default:
+			}
+		}
+	}
+	return work
+}
+
+// Watch returns a channel that receives new state versions as they are
+// published (latest-wins: intermediate versions may be skipped under a
+// slow consumer) and a cancel function that releases the watch.
+func (st *Store) Watch() (<-chan *State, func()) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	id := st.nextW
+	st.nextW++
+	ch := make(chan *State, 1)
+	ch <- st.cur
+	st.watchers[id] = ch
+	cancel := func() {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		delete(st.watchers, id)
+	}
+	return ch, cancel
+}

@@ -9,6 +9,7 @@
 //	GET /traces     slowest sampled traces with their critical paths
 //	GET /logs       recent aggregated log entries (?component= filters)
 //	GET /placement  live re-placement: grouping, plan, scores, moves
+//	GET /control    control plane: desired vs observed state, actuator log
 package dashboard
 
 import (
@@ -37,6 +38,7 @@ func Handler(m *manager.Manager) http.Handler {
 	mux.HandleFunc("/traces", d.traces)
 	mux.HandleFunc("/logs", d.logs)
 	mux.HandleFunc("/placement", d.placement)
+	mux.HandleFunc("/control", d.control)
 	// Profiling tools (Figure 3): the deployer process's own profiles.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -73,6 +75,7 @@ func (d *dash) index(w http.ResponseWriter, r *http.Request) {
   /traces     slowest traces and critical paths
   /logs       aggregated logs (?component=Name)
   /placement  live re-placement: grouping, plan, scores, moves
+  /control    control plane: desired vs observed state, actuator log
   /debug/pprof  deployer profiles
 `)
 }
@@ -191,6 +194,41 @@ func (d *dash) placement(w http.ResponseWriter, _ *http.Request) {
 	for _, mv := range st.Moves {
 		fmt.Fprintf(w, "  %s  %-24s %s -> %s  (epoch %d)\n",
 			mv.When.Format(time.RFC3339), core.ShortName(mv.Component), mv.From, mv.To, mv.Version)
+	}
+}
+
+func (d *dash) control(w http.ResponseWriter, _ *http.Request) {
+	st := d.mgr.ControlStatus()
+	fmt.Fprintf(w, "control-plane state version %d, routing epoch %d\n\n", st.StateVersion, st.RouteEpoch)
+
+	fmt.Fprintf(w, "%-16s %7s %9s %5s %6s %9s %4s  components\n",
+		"group", "desired", "starting", "live", "ready", "restarts", "lag")
+	for _, g := range st.Groups {
+		shorts := make([]string, len(g.Components))
+		for i, c := range g.Components {
+			shorts[i] = core.ShortName(c)
+		}
+		converged := " "
+		if g.Live != g.Target || g.Starting > 0 || g.Lag > 0 {
+			converged = "*" // reconciliation in flight
+		}
+		fmt.Fprintf(w, "%-16s %7d %9d %5d %6d %9d %4d %s [%s]\n",
+			g.Name, g.Target, g.Starting, g.Live, g.Ready, g.Restarts, g.Lag,
+			converged, strings.Join(shorts, ","))
+	}
+
+	actions := st.Actions
+	const maxShow = 40
+	if len(actions) > maxShow {
+		actions = actions[len(actions)-maxShow:]
+	}
+	fmt.Fprintf(w, "\nactuator actions (last %d of %d):\n", len(actions), len(st.Actions))
+	for _, a := range actions {
+		epoch := ""
+		if a.Epoch != 0 {
+			epoch = fmt.Sprintf("  epoch=%d", a.Epoch)
+		}
+		fmt.Fprintf(w, "  %s  %-8s %s%s\n", a.When.Format(time.RFC3339), a.Kind, a.Detail, epoch)
 	}
 }
 

@@ -123,6 +123,25 @@ func TestDashboardEndpoints(t *testing.T) {
 	if !strings.Contains(get(t, base+"/"), "/placement") {
 		t.Error("index does not link /placement")
 	}
+
+	// /control shows the versioned control-plane state and the actuator
+	// log; the move above must appear as routing pushes.
+	control := get(t, base+"/control")
+	for _, want := range []string{
+		"control-plane state version", "routing epoch",
+		"group", "desired", "starting", "live", "ready", "restarts", "lag",
+		"main", "actuator actions",
+	} {
+		if !strings.Contains(control, want) {
+			t.Errorf("control missing %q:\n%s", want, control)
+		}
+	}
+	if !strings.Contains(control, "push") {
+		t.Errorf("control shows no routing-push actions:\n%s", control)
+	}
+	if !strings.Contains(get(t, base+"/"), "/control") {
+		t.Error("index does not link /control")
+	}
 }
 
 func firstLines(s string, n int) string {

@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/callgraph"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/envelope"
@@ -25,7 +27,36 @@ import (
 	"repro/internal/manager"
 	"repro/internal/pipe"
 	"repro/internal/proclet"
+	"repro/internal/tracing"
 )
+
+// managerRef is an envelope.Manager that delegates to the current manager.
+// Envelopes are attached to the ref, not to a manager, so a manager
+// rebuild (RestartManager) repoints the whole fleet atomically.
+type managerRef struct {
+	p atomic.Pointer[manager.Manager]
+}
+
+func (r *managerRef) get() *manager.Manager { return r.p.Load() }
+
+func (r *managerRef) RegisterReplica(e *envelope.Envelope, reg pipe.RegisterReplica) error {
+	return r.get().RegisterReplica(e, reg)
+}
+func (r *managerRef) ComponentsToHost(e *envelope.Envelope) ([]string, error) {
+	return r.get().ComponentsToHost(e)
+}
+func (r *managerRef) StartComponent(e *envelope.Envelope, component string, routed bool) error {
+	return r.get().StartComponent(e, component, routed)
+}
+func (r *managerRef) LoadReport(e *envelope.Envelope, lr pipe.LoadReport) {
+	r.get().LoadReport(e, lr)
+}
+func (r *managerRef) Logs(entries []logging.Entry)      { r.get().Logs(entries) }
+func (r *managerRef) Traces(spans []tracing.Span)       { r.get().Traces(spans) }
+func (r *managerRef) GraphEdges(edges []callgraph.Edge) { r.get().GraphEdges(edges) }
+func (r *managerRef) ReplicaExited(e *envelope.Envelope, err error) {
+	r.get().ReplicaExited(e, err)
+}
 
 // FillFunc injects weaver state into component implementations; it is
 // weaver.FillComponent adapted by the caller (the public weaver package
@@ -45,6 +76,12 @@ func Inventory() []manager.ComponentInfo {
 type InProcess struct {
 	Manager *manager.Manager
 	main    *proclet.Proclet
+
+	// ref is the envelope-facing manager indirection; cfg and starter are
+	// retained so RestartManager can rebuild the manager from scratch.
+	ref     *managerRef
+	cfg     manager.Config
+	starter manager.Starter
 
 	mu       sync.Mutex
 	proclets map[string]*proclet.Proclet
@@ -81,14 +118,16 @@ func StartInProcess(ctx context.Context, opts Options) (*InProcess, error) {
 		opts.Config.Version = "v1"
 	}
 
-	d := &InProcess{proclets: map[string]*proclet.Proclet{}}
+	d := &InProcess{proclets: map[string]*proclet.Proclet{}, ref: &managerRef{}}
 
-	startProclet := func(ctx context.Context, group, id string, mgr envelope.Manager) (*envelope.Envelope, *proclet.Proclet, error) {
+	startProclet := func(ctx context.Context, group, id string, _ envelope.Manager) (*envelope.Envelope, *proclet.Proclet, error) {
 		envConn, procConn, err := pipe.Pair()
 		if err != nil {
 			return nil, nil, err
 		}
-		e := envelope.Attach(id, group, envConn, mgr)
+		// Envelopes talk to the manager through the ref, so a manager
+		// rebuild repoints them without re-attaching.
+		e := envelope.Attach(id, group, envConn, d.ref)
 		p, err := proclet.Start(ctx, proclet.Options{
 			Conn:           procConn,
 			ProcletID:      id,
@@ -124,6 +163,9 @@ func StartInProcess(ctx context.Context, opts Options) (*InProcess, error) {
 		return nil, err
 	}
 	d.Manager = mgr
+	d.ref.p.Store(mgr)
+	d.cfg = opts.Config
+	d.starter = starter
 
 	// Start the main driver proclet directly, as a subprocess deployer
 	// starts the main binary.
@@ -265,6 +307,36 @@ func (d *InProcess) KillReplica(id string) bool {
 	}
 	p.Shutdown(fmt.Errorf("killed by test"))
 	return true
+}
+
+// RestartManager simulates a manager crash and rebuild: the old manager is
+// detached (its control loops stop; its replicas keep running and keep
+// serving data-plane traffic), a fresh manager is built from the original
+// config with empty observed state, the fleet's envelopes are repointed at
+// it, and every proclet is asked to re-register. The call returns once the
+// new manager has recovered the fleet — adopted every replica, floored its
+// routing epoch above everything the proclets have applied, and
+// rebroadcast routing for every group — or once ctx expires (recovery is
+// then force-finished with whatever re-registered).
+func (d *InProcess) RestartManager(ctx context.Context) (*manager.Manager, error) {
+	old := d.Manager
+	envs := old.Envelopes()
+	old.Detach()
+
+	mgr, err := manager.New(d.cfg, d.starter)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: rebuilding manager: %w", err)
+	}
+	mgr.Adopt(envs)
+	d.ref.p.Store(mgr)
+	d.Manager = mgr
+	for _, e := range envs {
+		_ = e.Reregister() // dead proclets are recovered via ctx expiry
+	}
+	if err := mgr.WaitRecovered(ctx); err != nil {
+		return mgr, err
+	}
+	return mgr, nil
 }
 
 // Stop shuts the deployment down.

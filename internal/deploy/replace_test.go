@@ -39,13 +39,13 @@ func TestMoveComponentUnderLoad(t *testing.T) {
 	// Watch the driver's routing epochs for the component: the data-plane
 	// epoch and the core route epoch must both be monotonic.
 	var (
-		stopWatch   = make(chan struct{})
-		watchDone   = make(chan struct{})
-		violations  atomic.Int64
-		flipsSeen   atomic.Int64
-		lastDP      uint64
-		lastRoute   uint64
-		wasLocal    bool
+		stopWatch  = make(chan struct{})
+		watchDone  = make(chan struct{})
+		violations atomic.Int64
+		flipsSeen  atomic.Int64
+		lastDP     uint64
+		lastRoute  uint64
+		wasLocal   bool
 	)
 	go func() {
 		defer close(watchDone)

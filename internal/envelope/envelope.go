@@ -55,10 +55,12 @@ type Envelope struct {
 	registered pipe.RegisterReplica
 	hasInfo    bool
 
-	// Envelope-initiated requests (live re-placement): acks holds a reply
-	// channel per outstanding request ID. Envelope IDs are even, proclet
-	// IDs odd, so the two request streams never collide on the pipe.
-	acks   sync.Map // uint64 -> chan *pipe.Message
+	// Envelope-initiated requests (live re-placement, acked routing
+	// pushes): acks holds, per outstanding request ID, either a reply
+	// channel (Call) or a callback (PushRoutingInfo). Envelope IDs are
+	// even, proclet IDs odd, so the two request streams never collide on
+	// the pipe.
+	acks   sync.Map // uint64 -> chan *pipe.Message | func(*pipe.Message)
 	nextID atomic.Uint64
 
 	stopping atomic.Bool
@@ -208,9 +210,15 @@ func (e *Envelope) handle(m *pipe.Message) {
 
 	switch m.Kind {
 	case pipe.KindAck:
-		// Reply to an envelope-initiated request (Call).
-		if ch, ok := e.acks.Load(m.ID); ok {
-			ch.(chan *pipe.Message) <- m
+		// Reply to an envelope-initiated request (Call or PushRoutingInfo).
+		if v, ok := e.acks.Load(m.ID); ok {
+			switch h := v.(type) {
+			case chan *pipe.Message:
+				h <- m
+			case func(*pipe.Message):
+				e.acks.Delete(m.ID)
+				h(m)
+			}
 		}
 
 	case pipe.KindRegisterReplica:
@@ -267,6 +275,37 @@ func (e *Envelope) SendHostComponents(components []string) error {
 // SendRoutingInfo pushes routing information for one component.
 func (e *Envelope) SendRoutingInfo(ri pipe.RoutingInfo) error {
 	return e.conn.Send(&pipe.Message{Kind: pipe.KindRoutingInfo, RoutingInfo: &ri})
+}
+
+// PushRoutingInfo pushes routing information with an ack callback: onAck
+// runs (on the envelope's serve goroutine) once the proclet has applied
+// the push. It is the observed-state feedback path — the manager records
+// each replica's applied routing epoch from these acks. If the proclet
+// dies before acking, the callback never runs; a dead proclet holds no
+// routes worth tracking.
+func (e *Envelope) PushRoutingInfo(ri pipe.RoutingInfo, onAck func()) error {
+	if onAck == nil {
+		return e.SendRoutingInfo(ri)
+	}
+	id := e.nextID.Add(1) << 1 // even, nonzero
+	e.acks.Store(id, func(m *pipe.Message) {
+		if m.Err == "" {
+			onAck()
+		}
+	})
+	if err := e.conn.Send(&pipe.Message{Kind: pipe.KindRoutingInfo, RoutingInfo: &ri, ID: id}); err != nil {
+		e.acks.Delete(id)
+		return err
+	}
+	return nil
+}
+
+// Reregister asks the proclet to re-send its registration, carrying its
+// full observed state (hosted components, applied routing epochs). A
+// rebuilt manager sends this to every adopted envelope to recover control
+// state it no longer has.
+func (e *Envelope) Reregister() error {
+	return e.conn.Send(&pipe.Message{Kind: pipe.KindReregister})
 }
 
 // Call sends an envelope-initiated request down the pipe and waits for the

@@ -7,25 +7,34 @@
 //
 // The manager is strictly a control plane: proclets exchange data-plane
 // traffic directly with one another.
+//
+// Internally the manager is a reconciler/actuator split over a versioned
+// desired-state store (internal/cplane, DESIGN.md §14): decision loops are
+// pure reconcilers from an observed snapshot to a desired state, and one
+// actuator (actuator.go) diffs desired against observed and performs the
+// envelope operations — it is the only code that starts replicas, stops
+// them, or pushes routing.
 package manager
 
 import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/autoscale"
 	"repro/internal/callgraph"
+	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/cplane"
 	"repro/internal/envelope"
 	"repro/internal/logging"
 	"repro/internal/metrics"
 	"repro/internal/pipe"
 	"repro/internal/placement"
-	"repro/internal/routing"
 	"repro/internal/tracing"
 )
 
@@ -97,6 +106,10 @@ type Config struct {
 	// Placement bounds the plans the loop computes.
 	Placement placement.Config
 
+	// Clock injects time for the crash-restart backoff; nil means the real
+	// clock. Tests drive restarts with a fake clock.
+	Clock clock.Clock
+
 	Logger *logging.Logger
 }
 
@@ -104,29 +117,8 @@ type Config struct {
 // manager passes itself as the envelope's Manager.
 type Starter func(ctx context.Context, group, replicaID string, mgr envelope.Manager) (*envelope.Envelope, error)
 
-type replica struct {
-	id    string
-	env   *envelope.Envelope
-	addr  string
-	ready bool
-
-	healthy    bool
-	rate       float64
-	lastReport time.Time
-
-	stopping bool
-}
-
-type group struct {
-	name       string
-	components []string
-	routed     map[string]bool
-	replicas   map[string]*replica
-	as         *autoscale.Autoscaler
-	nextID     int
-	restarts   int
-	starting   int // replicas being started right now
-}
+// restartBackoff is how long a crashed replica waits before relaunching.
+const restartBackoff = 100 * time.Millisecond
 
 // Manager is the global manager.
 type Manager struct {
@@ -134,32 +126,45 @@ type Manager struct {
 	starter Starter
 	ctx     context.Context
 	cancel  context.CancelFunc
+	clk     clock.Clock
 
-	mu        sync.Mutex
-	groups    map[string]*group
-	compGroup map[string]string
-	envelopes map[*envelope.Envelope]bool
-	known     map[string]bool // component inventory
+	// store holds the versioned control-plane state (the single source of
+	// truth for groups, replicas, hosting, and routing epochs). All
+	// decision logic reads snapshots and commits desired states here.
+	store *cplane.Store
+
+	known     map[string]bool // component inventory (immutable after New)
 	routedSet map[string]bool // routed components of the inventory
+
+	// mu guards the runtime registries that cannot live in the value store:
+	// live envelope handles and per-replica metrics batches.
+	mu        sync.Mutex
+	envs      map[string]*envelope.Envelope // replica id -> envelope
+	envelopes map[*envelope.Envelope]bool   // every envelope we push to
 	stopped   bool
 
-	// routeVersion is the global routing epoch: every routing broadcast
-	// and every re-placement step draws a fresh, strictly increasing value
-	// from it (under mu). Proclets and balancers discard anything older
-	// than what they have applied, so delayed or reordered pushes can
-	// never resurrect a superseded placement.
-	routeVersion uint64
+	// Manager-rebuild recovery: while recovering > 0, registrations are
+	// adoptions of already-running replicas and routing broadcasts are
+	// deferred until the fleet has re-registered (or recovery is forced).
+	recovering   int
+	reregistered map[string]bool
+	recovered    chan struct{}
+	recoveryDone bool
 
-	// lastPush records, per component, the newest routing info stamped for
-	// broadcast (epoch + replica addresses). Test harnesses use it as the
-	// settle barrier: once every live proclet has applied this epoch, the
-	// fabric has quiesced after a topology change.
-	lastPush map[string]pushRecord
+	// asMu guards the per-group autoscalers (they carry hysteresis state,
+	// so they live outside the value store).
+	asMu sync.Mutex
+	as   map[string]*autoscale.Autoscaler
 
 	// moveMu serializes re-placement moves; moves (under mu) records the
 	// applied ones.
 	moveMu sync.Mutex
 	moves  []MoveRecord
+
+	// actMu guards the actuator action log (a bounded ring shown on the
+	// /control dashboard page).
+	actMu   sync.Mutex
+	actions []ActionRecord
 
 	logs    *logging.Aggregator
 	graph   *callgraph.Collector
@@ -202,10 +207,10 @@ func New(cfg Config, starter Starter) (*Manager, error) {
 		starter:   starter,
 		ctx:       ctx,
 		cancel:    cancel,
-		groups:    map[string]*group{},
-		compGroup: map[string]string{},
+		clk:       clock.Or(cfg.Clock),
+		envs:      map[string]*envelope.Envelope{},
 		envelopes: map[*envelope.Envelope]bool{},
-		lastPush:  map[string]pushRecord{},
+		as:        map[string]*autoscale.Autoscaler{},
 		logs:      logging.NewAggregator(200000),
 		graph:     callgraph.NewCollector(),
 		metrics:   map[string][]metrics.Snapshot{},
@@ -220,36 +225,12 @@ func New(cfg Config, starter Starter) (*Manager, error) {
 		}
 	}
 
-	// Explicit groups first, in sorted order for determinism.
-	groupNames := make([]string, 0, len(cfg.Groups))
-	for name := range cfg.Groups {
-		groupNames = append(groupNames, name)
+	init, err := m.initialState()
+	if err != nil {
+		cancel()
+		return nil, err
 	}
-	sort.Strings(groupNames)
-	for _, name := range groupNames {
-		if err := m.addGroupLocked(name, cfg.Groups[name]); err != nil {
-			return nil, err
-		}
-	}
-	// The main group always exists.
-	if _, ok := m.groups["main"]; !ok {
-		if err := m.addGroupLocked("main", nil); err != nil {
-			return nil, err
-		}
-	}
-	// Singleton groups for everything else.
-	for _, c := range cfg.Components {
-		if _, ok := m.compGroup[c.Name]; ok {
-			continue
-		}
-		name := core.ShortName(c.Name)
-		if _, clash := m.groups[name]; clash {
-			name = strings.ReplaceAll(c.Name, "/", ".")
-		}
-		if err := m.addGroupLocked(name, []string{c.Name}); err != nil {
-			return nil, err
-		}
-	}
+	m.store = cplane.NewStore(init)
 
 	go m.scaleLoop()
 	if cfg.PlacementInterval > 0 {
@@ -258,43 +239,82 @@ func New(cfg Config, starter Starter) (*Manager, error) {
 	return m, nil
 }
 
-// addGroupLocked creates a colocation group. The caller holds m.mu (or, in
-// New, is the only goroutine with access). Re-placement uses it to create
-// destination groups recommended by the planner at runtime.
-func (m *Manager) addGroupLocked(name string, components []string) error {
-	if _, dup := m.groups[name]; dup {
-		return fmt.Errorf("manager: duplicate group %q", name)
+// initialState builds the seed control-plane state from the config:
+// explicit groups (sorted for determinism), the always-present main group,
+// and singleton groups for every unassigned component.
+func (m *Manager) initialState() (*cplane.State, error) {
+	s := cplane.NewState()
+	groupNames := make([]string, 0, len(m.cfg.Groups))
+	for name := range m.cfg.Groups {
+		groupNames = append(groupNames, name)
 	}
-	g := &group{
-		name:       name,
-		components: append([]string(nil), components...),
-		routed:     map[string]bool{},
-		replicas:   map[string]*replica{},
+	sort.Strings(groupNames)
+	for _, name := range groupNames {
+		if err := m.addGroupTo(s, name, m.cfg.Groups[name]); err != nil {
+			return nil, err
+		}
 	}
-	asCfg := m.cfg.DefaultAutoscale
-	if c, ok := m.cfg.Autoscale[name]; ok {
-		asCfg = c
+	if _, ok := s.Groups["main"]; !ok {
+		if err := m.addGroupTo(s, "main", nil); err != nil {
+			return nil, err
+		}
 	}
-	g.as = autoscale.New(asCfg)
+	for _, c := range m.cfg.Components {
+		if _, ok := s.CompGroup[c.Name]; ok {
+			continue
+		}
+		name := core.ShortName(c.Name)
+		if _, clash := s.Groups[name]; clash {
+			name = strings.ReplaceAll(c.Name, "/", ".")
+		}
+		if err := m.addGroupTo(s, name, []string{c.Name}); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// addGroupTo validates components against the inventory and creates a
+// group in s. Re-placement and recovery use it to create groups at
+// runtime.
+func (m *Manager) addGroupTo(s *cplane.State, name string, components []string) error {
 	for _, c := range components {
 		if !m.known[c] {
 			return fmt.Errorf("manager: group %q lists unknown component %q", name, c)
 		}
-		if prev, taken := m.compGroup[c]; taken {
-			return fmt.Errorf("manager: component %q in groups %q and %q", c, prev, name)
-		}
-		m.compGroup[c] = name
-		g.routed[c] = m.routedSet[c]
 	}
-	m.groups[name] = g
+	if _, err := s.AddGroup(name, components, m.routedSet); err != nil {
+		return fmt.Errorf("manager: %w", err)
+	}
 	return nil
+}
+
+// scaler returns the autoscaler for a group, creating it on first use.
+func (m *Manager) scaler(group string) *autoscale.Autoscaler {
+	m.asMu.Lock()
+	defer m.asMu.Unlock()
+	if as, ok := m.as[group]; ok {
+		return as
+	}
+	cfg := m.cfg.DefaultAutoscale
+	if c, ok := m.cfg.Autoscale[group]; ok {
+		cfg = c
+	}
+	as := autoscale.New(cfg)
+	m.as[group] = as
+	return as
+}
+
+func (m *Manager) isStopped() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stopped
 }
 
 // GroupOf returns the colocation group hosting a component.
 func (m *Manager) GroupOf(component string) (string, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	g, ok := m.compGroup[component]
+	s := m.store.Snapshot()
+	g, ok := s.CompGroup[component]
 	return g, ok
 }
 
@@ -322,25 +342,32 @@ func (m *Manager) MergedMetrics() map[string]metrics.Snapshot {
 	return metrics.MergeAll(batches...)
 }
 
+// ControlState returns the current control-plane snapshot. Callers must
+// treat it as read-only. Harnesses assert invariants on it; the dashboard
+// renders it.
+func (m *Manager) ControlState() *cplane.State { return m.store.Snapshot() }
+
 // StartGroup ensures that the named group is running at least n replicas.
 // The deployer calls it for "main"; everything else starts on demand.
 func (m *Manager) StartGroup(ctx context.Context, name string, n int) error {
-	m.mu.Lock()
-	g, ok := m.groups[name]
-	if !ok {
-		m.mu.Unlock()
+	found := false
+	var acts cplane.Actions
+	m.store.Update(func(s *cplane.State) {
+		g := s.Groups[name]
+		if g == nil {
+			return
+		}
+		found = true
+		need := n - len(g.Replicas) - g.Starting
+		if need > 0 {
+			g.Starting += need
+			acts.Start = []cplane.StartAction{{Group: name, N: need}}
+		}
+	})
+	if !found {
 		return fmt.Errorf("manager: unknown group %q", name)
 	}
-	need := n - len(g.replicas) - g.starting
-	g.starting += max(0, need)
-	m.mu.Unlock()
-	var firstErr error
-	for i := 0; i < need; i++ {
-		if err := m.startReplica(ctx, g); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
+	return m.actuate(ctx, acts, actuateOpts{sync: true})
 }
 
 // ResizeGroup sets a group's replica count to exactly n, synchronously:
@@ -349,198 +376,184 @@ func (m *Manager) StartGroup(ctx context.Context, name string, n int) error {
 // scriptable replica lifecycle used by the simulation harness; unlike the
 // autoscaler it is driven by the test schedule, not by load.
 func (m *Manager) ResizeGroup(ctx context.Context, name string, n int) error {
-	if n < 0 {
-		return fmt.Errorf("manager: negative replica target %d for group %q", n, name)
-	}
-	m.mu.Lock()
-	g, ok := m.groups[name]
-	if !ok {
-		m.mu.Unlock()
-		return fmt.Errorf("manager: unknown group %q", name)
-	}
-	live := g.starting
-	for _, r := range g.replicas {
-		if !r.stopping {
-			live++
+	var acts cplane.Actions
+	var rerr error
+	m.store.Update(func(s *cplane.State) {
+		des, err := cplane.ReconcileResize(s, name, n)
+		if err != nil {
+			rerr = fmt.Errorf("manager: %w", err)
+			return
 		}
+		acts = cplane.Diff(s, des)
+		cplane.Commit(s, des)
+	})
+	if rerr != nil {
+		return rerr
 	}
-	if n > live {
-		need := n - live
-		g.starting += need
-		m.mu.Unlock()
-		var firstErr error
-		for i := 0; i < need; i++ {
-			if err := m.startReplica(ctx, g); err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
-		return firstErr
-	}
-	// Scale down: gracefully stop the newest replicas first, as the
-	// autoscaler does, so drains are exercised rather than crashes.
-	var stop []*replica
-	ids := make([]string, 0, len(g.replicas))
-	for id := range g.replicas {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for i := len(ids) - 1; i >= 0 && live > n; i-- {
-		r := g.replicas[ids[i]]
-		if !r.stopping {
-			r.stopping = true
-			stop = append(stop, r)
-			live--
-		}
-	}
-	m.mu.Unlock()
-	if len(stop) == 0 {
-		return nil
-	}
-	m.broadcastGroupRouting(g)
-	var wg sync.WaitGroup
-	for _, r := range stop {
-		wg.Add(1)
-		go func(r *replica) {
-			defer wg.Done()
-			r.env.Stop(5 * time.Second)
-		}(r)
-	}
-	wg.Wait()
-	return nil
-}
-
-// startReplica launches one replica of g. The caller must have incremented
-// g.starting; startReplica decrements it.
-func (m *Manager) startReplica(ctx context.Context, g *group) error {
-	m.mu.Lock()
-	id := fmt.Sprintf("%s/%d", g.name, g.nextID)
-	g.nextID++
-	stopped := m.stopped
-	m.mu.Unlock()
-	if stopped {
-		m.mu.Lock()
-		g.starting--
-		m.mu.Unlock()
-		return fmt.Errorf("manager: stopped")
-	}
-
-	env, err := m.starter(ctx, g.name, id, m)
-
-	m.mu.Lock()
-	g.starting--
-	if err != nil {
-		m.mu.Unlock()
-		m.cfg.Logger.Error("starting replica", err, "group", g.name, "replica", id)
-		return err
-	}
-	// The proclet may already have registered (RegisterReplica runs on the
-	// envelope's serve goroutine, often before the starter returns); do not
-	// clobber its record.
-	if rep := g.replicas[id]; rep != nil {
-		rep.env = env
-	} else {
-		g.replicas[id] = &replica{id: id, env: env, healthy: true, lastReport: time.Now()}
-	}
-	m.envelopes[env] = true
-	m.mu.Unlock()
-	m.cfg.Logger.Info("replica started", "group", g.name, "replica", id)
-	return nil
+	return m.actuate(ctx, acts, actuateOpts{sync: true})
 }
 
 // --- envelope.Manager implementation (the Table 1 API) ---
 
-// RegisterReplica implements envelope.Manager.
-func (m *Manager) RegisterReplica(e *envelope.Envelope, r pipe.RegisterReplica) error {
-	m.mu.Lock()
-	g, ok := m.groups[e.Group]
-	if !ok {
-		m.mu.Unlock()
-		return fmt.Errorf("manager: replica of unknown group %q", e.Group)
+// replicaOrdinal parses the numeric suffix of a replica id ("kv/3" -> 3).
+func replicaOrdinal(id string) (int, bool) {
+	i := strings.LastIndexByte(id, '/')
+	if i < 0 {
+		return 0, false
 	}
-	rep := g.replicas[e.ID]
-	if rep == nil {
-		// A replica the manager did not start (e.g. the main driver, which
-		// the deployer launches directly): adopt it.
-		rep = &replica{id: e.ID, env: e, healthy: true}
-		g.replicas[e.ID] = rep
-		m.envelopes[e] = true
+	n, err := strconv.Atoi(id[i+1:])
+	if err != nil {
+		return 0, false
 	}
-	rep.addr = r.Addr
-	rep.ready = true
-	rep.lastReport = time.Now()
-	m.mu.Unlock()
-
-	m.cfg.Logger.Info("replica registered", "group", e.Group, "replica", e.ID, "addr", r.Addr)
-	m.broadcastGroupRouting(g)
-	return nil
+	return n, true
 }
 
-// adoptEnvelopeLocked ensures e receives routing broadcasts. Proclets talk
-// to the manager (ComponentsToHost, StartComponent) before they register,
-// so the manager must track their envelopes from first contact.
-func (m *Manager) adoptEnvelopeLocked(e *envelope.Envelope) {
+// RegisterReplica implements envelope.Manager. During normal operation it
+// records a fresh replica as ready and re-broadcasts its group's routing.
+// During recovery (a rebuilt manager re-learning a running fleet) it
+// adopts the replica's observed state wholesale: unknown groups are
+// created, hosting claims relocate components, applied routing epochs
+// floor the global epoch counter so new broadcasts are never fenced as
+// stale.
+func (m *Manager) RegisterReplica(e *envelope.Envelope, r pipe.RegisterReplica) error {
+	m.mu.Lock()
 	m.envelopes[e] = true
+	m.envs[e.ID] = e
+	recovering := m.recovering > 0
+	m.mu.Unlock()
+
+	found := false
+	m.store.Update(func(s *cplane.State) {
+		g := s.Groups[e.Group]
+		if g == nil {
+			if !recovering {
+				return
+			}
+			// A group the config does not know (e.g. created by a past
+			// re-placement move): recreate it from the replica's claim.
+			if err := m.addGroupTo(s, e.Group, nil); err != nil {
+				return
+			}
+			g = s.Groups[e.Group]
+		}
+		found = true
+		rep := g.Replicas[e.ID]
+		if rep == nil {
+			// A replica the manager did not start (the main driver, or any
+			// replica during recovery): adopt it.
+			rep = &cplane.Replica{ID: e.ID, Healthy: true, Applied: map[string]uint64{}}
+			g.Replicas[e.ID] = rep
+		}
+		rep.Addr = r.Addr
+		rep.Ready = true
+		rep.Healthy = true
+		rep.LastReport = m.clk.Now()
+		if r.Epoch > s.RouteEpoch {
+			s.RouteEpoch = r.Epoch
+		}
+		for c, v := range r.Routing {
+			if v > rep.Applied[c] {
+				rep.Applied[c] = v
+			}
+			if v > s.RouteEpoch {
+				s.RouteEpoch = v
+			}
+		}
+		if n, ok := replicaOrdinal(e.ID); ok && n >= g.NextID {
+			g.NextID = n + 1
+		}
+		if recovering {
+			// Observed hosting wins over the config-derived default: if the
+			// replica hosts a component mapped elsewhere, the component was
+			// moved before the rebuild — relocate it.
+			for _, c := range r.Hosted {
+				if cur, ok := s.CompGroup[c]; ok && cur != e.Group {
+					_ = s.Relocate(c, e.Group)
+				}
+			}
+		}
+	})
+	if !found {
+		return fmt.Errorf("manager: replica of unknown group %q", e.Group)
+	}
+
+	m.cfg.Logger.Info("replica registered", "group", e.Group, "replica", e.ID, "addr", r.Addr)
+	if recovering {
+		m.noteReregistered(e.ID)
+		return nil
+	}
+	return m.actuate(m.ctx, cplane.Actions{Push: []string{e.Group}}, actuateOpts{})
+}
+
+// adoptEnvelope ensures e receives routing broadcasts. Proclets talk to
+// the manager (ComponentsToHost, StartComponent) before they register, so
+// the manager must track their envelopes from first contact.
+func (m *Manager) adoptEnvelope(e *envelope.Envelope) {
+	m.mu.Lock()
+	m.envelopes[e] = true
+	m.mu.Unlock()
 }
 
 // ComponentsToHost implements envelope.Manager.
 func (m *Manager) ComponentsToHost(e *envelope.Envelope) ([]string, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.adoptEnvelopeLocked(e)
-	g, ok := m.groups[e.Group]
-	if !ok {
+	m.adoptEnvelope(e)
+	s := m.store.Snapshot()
+	g := s.Groups[e.Group]
+	if g == nil {
 		return nil, fmt.Errorf("manager: unknown group %q", e.Group)
 	}
-	return append([]string(nil), g.components...), nil
+	return append([]string(nil), g.Components...), nil
 }
 
 // StartComponent implements envelope.Manager.
 func (m *Manager) StartComponent(e *envelope.Envelope, component string, routed bool) error {
-	m.mu.Lock()
-	m.adoptEnvelopeLocked(e)
-	gname, ok := m.compGroup[component]
-	if !ok {
-		m.mu.Unlock()
+	m.adoptEnvelope(e)
+	var gname string
+	found := false
+	var acts cplane.Actions
+	m.store.Update(func(s *cplane.State) {
+		gn, ok := s.CompGroup[component]
+		if !ok {
+			return
+		}
+		found = true
+		gname = gn
+		g := s.Groups[gn]
+		if len(g.Replicas)+g.Starting == 0 {
+			need := m.scaler(gn).Config().MinReplicas
+			g.Starting += need
+			acts.Start = []cplane.StartAction{{Group: gn, N: need}}
+		}
+	})
+	if !found {
 		return fmt.Errorf("manager: unknown component %q", component)
 	}
-	g := m.groups[gname]
-	need := 0
-	if len(g.replicas)+g.starting == 0 {
-		need = g.as.Config().MinReplicas
-		g.starting += need
-	}
-	m.mu.Unlock()
-
-	for i := 0; i < need; i++ {
-		go func() {
-			if err := m.startReplica(m.ctx, g); err != nil {
-				m.cfg.Logger.Error("start component replica", err, "component", component)
-			}
-		}()
-	}
+	_ = m.actuate(m.ctx, acts, actuateOpts{})
 
 	// Push current routing info (possibly empty) so the requester learns
 	// about already-running replicas immediately.
-	m.pushGroupRoutingTo(g, e)
+	m.pushGroupRoutingTo(gname, e)
 	return nil
 }
 
 // LoadReport implements envelope.Manager.
 func (m *Manager) LoadReport(e *envelope.Envelope, lr pipe.LoadReport) {
+	m.store.Update(func(s *cplane.State) {
+		g := s.Groups[e.Group]
+		if g == nil {
+			return
+		}
+		rep := g.Replicas[e.ID]
+		if rep == nil {
+			return
+		}
+		rep.Rate = lr.CallsPerSec
+		rep.Healthy = lr.Healthy
+		rep.LastReport = m.clk.Now()
+	})
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	g, ok := m.groups[e.Group]
-	if !ok {
-		return
-	}
-	rep, ok := g.replicas[e.ID]
-	if !ok {
-		return
-	}
-	rep.rate = lr.CallsPerSec
-	rep.healthy = lr.Healthy
-	rep.lastReport = time.Now()
 	m.metrics[e.ID] = lr.Metrics
+	m.mu.Unlock()
 }
 
 // Logs implements envelope.Manager.
@@ -559,142 +572,60 @@ func (m *Manager) Traces(spans []tracing.Span) {
 // GraphEdges implements envelope.Manager.
 func (m *Manager) GraphEdges(edges []callgraph.Edge) { m.graph.Merge(edges) }
 
-// ReplicaExited implements envelope.Manager.
+// ReplicaExited implements envelope.Manager. The restart decision is the
+// pure cplane.ReconcileRestart policy; the actuator relaunches after a
+// clock-driven backoff (paper §3.1: "component replicas may fail and get
+// restarted").
 func (m *Manager) ReplicaExited(e *envelope.Envelope, exitErr error) {
 	m.mu.Lock()
-	g, ok := m.groups[e.Group]
-	if !ok {
-		m.mu.Unlock()
+	delete(m.envelopes, e)
+	delete(m.envs, e.ID)
+	delete(m.metrics, e.ID)
+	stopped := m.stopped
+	m.mu.Unlock()
+
+	found := false
+	var acts cplane.Actions
+	m.store.Update(func(s *cplane.State) {
+		g := s.Groups[e.Group]
+		if g == nil {
+			return
+		}
+		found = true
+		rep := g.Replicas[e.ID]
+		delete(g.Replicas, e.ID)
+		deliberate := stopped || (rep != nil && rep.Stopping) || exitErr == nil
+		if des := cplane.ReconcileRestart(s, e.Group, deliberate, m.cfg.MaxRestarts); des != nil {
+			acts = cplane.Diff(s, des)
+			cplane.Commit(s, des)
+		}
+		acts.Push = []string{e.Group} // topology shrank either way
+	})
+	if !found {
 		return
 	}
-	rep := g.replicas[e.ID]
-	delete(g.replicas, e.ID)
-	delete(m.envelopes, e)
-	delete(m.metrics, e.ID)
-	deliberate := m.stopped || (rep != nil && rep.stopping) || exitErr == nil
-	restart := !deliberate && g.restarts < m.cfg.MaxRestarts && len(g.components) > 0
-	if restart {
-		g.restarts++
-		g.starting++
+	for i := range acts.Start {
+		acts.Start[i].Backoff = restartBackoff
 	}
-	m.mu.Unlock()
 
 	if exitErr != nil {
 		m.cfg.Logger.Warn("replica exited", "group", e.Group, "replica", e.ID, "err", exitErr.Error())
 	}
-	m.broadcastGroupRouting(g)
-
-	if restart {
-		// Restart crashed replicas with a small backoff (paper §3.1:
-		// "component replicas may fail and get restarted").
-		go func() {
-			select {
-			case <-time.After(100 * time.Millisecond):
-			case <-m.ctx.Done():
-				m.mu.Lock()
-				g.starting--
-				m.mu.Unlock()
-				return
-			}
-			if err := m.startReplica(m.ctx, g); err != nil {
-				m.cfg.Logger.Error("restarting replica", err, "group", g.name)
-			}
-		}()
-	}
-}
-
-// --- routing ---
-
-// nextEpochLocked draws a fresh global routing epoch. Caller holds m.mu.
-func (m *Manager) nextEpochLocked() uint64 {
-	m.routeVersion++
-	return m.routeVersion
-}
-
-// readyAddrsLocked returns the sorted data-plane addresses of g's routable
-// replicas. Caller holds m.mu.
-func readyAddrsLocked(g *group) []string {
-	var addrs []string
-	for _, r := range g.replicas {
-		if r.ready && r.healthy && !r.stopping {
-			addrs = append(addrs, r.addr)
-		}
-	}
-	sort.Strings(addrs)
-	return addrs
-}
-
-// pushRecord snapshots one component's newest stamped routing info.
-type pushRecord struct {
-	version uint64
-	addrs   []string
-}
-
-// routingInfoLocked builds the RoutingInfo messages for g's components,
-// stamped with a fresh global epoch.
-func (m *Manager) routingInfoLocked(g *group) []pipe.RoutingInfo {
-	addrs := readyAddrsLocked(g)
-	v := m.nextEpochLocked()
-	out := make([]pipe.RoutingInfo, 0, len(g.components))
-	for _, c := range g.components {
-		ri := pipe.RoutingInfo{
-			Component: c,
-			Replicas:  addrs,
-			Version:   v,
-		}
-		if g.routed[c] && len(addrs) > 0 {
-			a := routing.EqualSlices(v, addrs, m.cfg.SlicesPerReplica)
-			ri.Assignment = &a
-		}
-		m.lastPush[c] = pushRecord{version: v, addrs: addrs}
-		out = append(out, ri)
-	}
-	return out
+	_ = m.actuate(m.ctx, acts, actuateOpts{})
 }
 
 // RouteEpoch returns the current global routing epoch (the newest value
 // stamped on any routing broadcast or re-placement step).
 func (m *Manager) RouteEpoch() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.routeVersion
+	return m.store.Snapshot().RouteEpoch
 }
 
 // LastRouting returns the newest routing epoch stamped for a component and
 // the replica addresses it carried. Harnesses use it to wait until every
 // proclet's applied RoutingVersion catches up after a topology change.
 func (m *Manager) LastRouting(component string) (version uint64, addrs []string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	pr := m.lastPush[component]
-	return pr.version, append([]string(nil), pr.addrs...)
-}
-
-// broadcastGroupRouting pushes fresh routing info for g's components to
-// every envelope.
-func (m *Manager) broadcastGroupRouting(g *group) {
-	m.mu.Lock()
-	infos := m.routingInfoLocked(g)
-	envs := make([]*envelope.Envelope, 0, len(m.envelopes))
-	for e := range m.envelopes {
-		envs = append(envs, e)
-	}
-	m.mu.Unlock()
-	for _, e := range envs {
-		for _, ri := range infos {
-			_ = e.SendRoutingInfo(ri)
-		}
-	}
-}
-
-// pushGroupRoutingTo sends g's routing info to a single envelope.
-func (m *Manager) pushGroupRoutingTo(g *group, e *envelope.Envelope) {
-	m.mu.Lock()
-	infos := m.routingInfoLocked(g)
-	m.mu.Unlock()
-	for _, ri := range infos {
-		_ = e.SendRoutingInfo(ri)
-	}
+	p := m.store.Snapshot().LastPush[component]
+	return p.Version, append([]string(nil), p.Addrs...)
 }
 
 // --- scaling and health ---
@@ -712,89 +643,33 @@ func (m *Manager) scaleLoop() {
 	}
 }
 
-// scaleOnce evaluates autoscaling and health for every running group.
+// scaleOnce runs one reconcile pass of the autoscale + health loop: the
+// pure reconciler proposes a desired state using the per-group autoscaler
+// as its oracle, and the actuator applies the diff.
 func (m *Manager) scaleOnce(now time.Time) {
-	type action struct {
-		g     *group
-		start int
-		stop  []*replica
-		dirty bool
+	oracle := func(group string, current int, load float64, at time.Time) int {
+		return m.scaler(group).Desired(current, load, at)
 	}
-	var actions []action
-
-	m.mu.Lock()
-	for _, g := range m.groups {
-		if g.name == "main" || len(g.replicas)+g.starting == 0 {
-			continue // main is the driver; empty groups start on demand
-		}
-		var a action
-		a.g = g
-
-		// Health: mark stale replicas unhealthy so routing skips them.
-		var totalRate float64
-		healthyCount := 0
-		for _, r := range g.replicas {
-			wasHealthy := r.healthy
-			if now.Sub(r.lastReport) > m.cfg.ReplicaStaleAfter {
-				r.healthy = false
-			}
-			if r.healthy != wasHealthy {
-				a.dirty = true
-			}
-			if r.healthy && r.ready && !r.stopping {
-				healthyCount++
-				totalRate += r.rate
-			}
-		}
-
-		current := len(g.replicas) + g.starting
-		desired := g.as.Desired(current, totalRate, now)
-		if desired > current {
-			a.start = desired - current
-			g.starting += a.start
-		} else if desired < current && len(g.replicas) > desired {
-			// Stop the newest replicas first.
-			ids := make([]string, 0, len(g.replicas))
-			for id := range g.replicas {
-				ids = append(ids, id)
-			}
-			sort.Strings(ids)
-			for i := len(ids) - 1; i >= 0 && len(ids)-len(a.stop) > desired; i-- {
-				r := g.replicas[ids[i]]
-				if !r.stopping {
-					r.stopping = true
-					a.stop = append(a.stop, r)
-					a.dirty = true
-				}
-			}
-		}
-		if a.start > 0 || len(a.stop) > 0 || a.dirty {
-			actions = append(actions, a)
-		}
+	var acts cplane.Actions
+	m.store.Update(func(s *cplane.State) {
+		des := cplane.ReconcileScale(s, oracle, now, m.cfg.ReplicaStaleAfter)
+		acts = cplane.Diff(s, des)
+		cplane.Commit(s, des)
+	})
+	if acts.Empty() {
+		return
 	}
-	m.mu.Unlock()
-
-	for _, a := range actions {
-		for i := 0; i < a.start; i++ {
-			go func(g *group) {
-				if err := m.startReplica(m.ctx, g); err != nil {
-					m.cfg.Logger.Error("scale up", err, "group", g.name)
-				}
-			}(a.g)
-		}
-		if a.dirty || len(a.stop) > 0 {
-			m.broadcastGroupRouting(a.g)
-		}
-		for _, r := range a.stop {
-			go r.env.Stop(5 * time.Second)
-		}
-		if a.start > 0 {
-			m.cfg.Logger.Info("scaling up", "group", a.g.name, "new", fmt.Sprint(a.start))
-		}
-		if len(a.stop) > 0 {
-			m.cfg.Logger.Info("scaling down", "group", a.g.name, "stopping", fmt.Sprint(len(a.stop)))
-		}
+	for _, a := range acts.Start {
+		m.cfg.Logger.Info("scaling up", "group", a.Group, "new", fmt.Sprint(a.N))
 	}
+	stops := map[string]int{}
+	for _, a := range acts.Stop {
+		stops[a.Group]++
+	}
+	for g, n := range stops {
+		m.cfg.Logger.Info("scaling down", "group", g, "stopping", fmt.Sprint(n))
+	}
+	_ = m.actuate(m.ctx, acts, actuateOpts{})
 }
 
 // GroupStatus describes one group for status reporting.
@@ -815,41 +690,47 @@ type ReplicaStatus struct {
 
 // Status returns a snapshot of all groups and replicas, sorted by name.
 func (m *Manager) Status() []GroupStatus {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]GroupStatus, 0, len(m.groups))
-	for _, g := range m.groups {
-		gs := GroupStatus{Name: g.name, Components: append([]string(nil), g.components...)}
-		ids := make([]string, 0, len(g.replicas))
-		for id := range g.replicas {
+	s := m.store.Snapshot()
+	out := make([]GroupStatus, 0, len(s.Groups))
+	for _, name := range s.SortedGroupNames() {
+		g := s.Groups[name]
+		gs := GroupStatus{Name: name, Components: append([]string(nil), g.Components...)}
+		ids := make([]string, 0, len(g.Replicas))
+		for id := range g.Replicas {
 			ids = append(ids, id)
 		}
 		sort.Strings(ids)
 		for _, id := range ids {
-			r := g.replicas[id]
+			r := g.Replicas[id]
 			gs.Replicas = append(gs.Replicas, ReplicaStatus{
-				ID:      r.id,
-				Addr:    r.addr,
-				Healthy: r.healthy,
-				Rate:    r.rate,
-				Pid:     r.env.Pid(),
+				ID:      r.ID,
+				Addr:    r.Addr,
+				Healthy: r.Healthy,
+				Rate:    r.Rate,
+				Pid:     m.pidOf(id),
 			})
 		}
 		out = append(out, gs)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+func (m *Manager) pidOf(replicaID string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e := m.envs[replicaID]; e != nil {
+		return e.Pid()
+	}
+	return 0
 }
 
 // ReplicaCount returns the number of live replicas of a group.
 func (m *Manager) ReplicaCount(group string) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	g, ok := m.groups[group]
-	if !ok {
+	g := m.store.Snapshot().Groups[group]
+	if g == nil {
 		return 0
 	}
-	return len(g.replicas)
+	return len(g.Replicas)
 }
 
 // Stop shuts down every replica and the manager itself.
@@ -876,4 +757,117 @@ func (m *Manager) Stop() {
 		}(e)
 	}
 	wg.Wait()
+}
+
+// --- manager rebuild (recovery from re-registration) ---
+
+// Detach stops the manager's control loops and marks it stopped WITHOUT
+// stopping its replicas. It is the teardown half of a simulated manager
+// crash: the fleet keeps serving, and a successor manager adopts the
+// orphaned envelopes with Adopt.
+func (m *Manager) Detach() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	m.mu.Unlock()
+	m.cancel()
+}
+
+// Envelopes returns every envelope the manager currently tracks.
+func (m *Manager) Envelopes() []*envelope.Envelope {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*envelope.Envelope, 0, len(m.envelopes))
+	for e := range m.envelopes {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Adopt hands a freshly built manager the envelopes of an already-running
+// fleet (from a predecessor's Envelopes). The manager enters recovery: it
+// expects one re-registration per envelope (the deployer sends
+// envelope.Reregister after repointing them here) and defers routing
+// broadcasts until the fleet has re-registered, then rebroadcasts every
+// group at epochs above the recovered floor. WaitRecovered blocks until
+// that happens.
+func (m *Manager) Adopt(envs []*envelope.Envelope) {
+	m.mu.Lock()
+	for _, e := range envs {
+		m.envelopes[e] = true
+		if e.ID != "" {
+			m.envs[e.ID] = e
+		}
+	}
+	m.recovering = len(envs)
+	m.reregistered = map[string]bool{}
+	m.recovered = make(chan struct{})
+	m.recoveryDone = false
+	m.mu.Unlock()
+	m.recordAction("recover", fmt.Sprintf("adopted %d envelopes, awaiting re-registration", len(envs)), 0)
+	if len(envs) == 0 {
+		m.finishRecovery()
+	}
+}
+
+func (m *Manager) noteReregistered(id string) {
+	m.mu.Lock()
+	if m.recovering <= 0 || m.reregistered[id] {
+		m.mu.Unlock()
+		return
+	}
+	m.reregistered[id] = true
+	m.recovering--
+	done := m.recovering == 0
+	m.mu.Unlock()
+	if done {
+		m.finishRecovery()
+	}
+}
+
+// finishRecovery ends recovery (idempotently) and rebroadcasts every
+// group's routing at fresh epochs above the recovered floor, rebuilding
+// every proclet's routing view under the new manager.
+func (m *Manager) finishRecovery() {
+	m.mu.Lock()
+	if m.recoveryDone || m.recovered == nil {
+		m.mu.Unlock()
+		return
+	}
+	m.recoveryDone = true
+	m.recovering = 0
+	close(m.recovered)
+	m.mu.Unlock()
+
+	s := m.store.Snapshot()
+	var groups []string
+	for _, name := range s.SortedGroupNames() {
+		if len(s.Groups[name].Components) > 0 {
+			groups = append(groups, name)
+		}
+	}
+	m.recordAction("recover", fmt.Sprintf("recovery complete, rebroadcasting %d groups", len(groups)), s.RouteEpoch)
+	_ = m.actuate(m.ctx, cplane.Actions{Push: groups}, actuateOpts{})
+}
+
+// WaitRecovered blocks until recovery completes. If ctx expires first,
+// recovery is force-finished with whatever has re-registered (missing
+// replicas re-register later through the normal path).
+func (m *Manager) WaitRecovered(ctx context.Context) error {
+	m.mu.Lock()
+	ch := m.recovered
+	m.mu.Unlock()
+	if ch == nil {
+		return nil // never adopted anything
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		m.finishRecovery()
+		return ctx.Err()
+	}
 }

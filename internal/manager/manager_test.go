@@ -2,11 +2,16 @@ package manager
 
 import (
 	"context"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/clock"
 	"repro/internal/envelope"
 	"repro/internal/logging"
+	"repro/internal/pipe"
 )
 
 func inventory() []ComponentInfo {
@@ -120,5 +125,114 @@ func TestReplicaCountUnknownGroup(t *testing.T) {
 	defer m.Stop()
 	if n := m.ReplicaCount("nope"); n != 0 {
 		t.Errorf("count = %d", n)
+	}
+}
+
+// fleet is a test starter that attaches real envelopes to dangling pipe
+// ends (no proclet behind them) and counts launches.
+type fleet struct {
+	mu    sync.Mutex
+	count int
+	ids   []string
+	envs  []*envelope.Envelope
+	conns []*pipe.Conn
+}
+
+func (f *fleet) starter(ctx context.Context, group, id string, mgr envelope.Manager) (*envelope.Envelope, error) {
+	envConn, procConn, err := pipe.Pair()
+	if err != nil {
+		return nil, err
+	}
+	e := envelope.Attach(id, group, envConn, mgr)
+	f.mu.Lock()
+	f.count++
+	f.ids = append(f.ids, id)
+	f.envs = append(f.envs, e)
+	f.conns = append(f.conns, procConn)
+	f.mu.Unlock()
+	return e, nil
+}
+
+func (f *fleet) launches() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.count
+}
+
+func (f *fleet) close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, c := range f.conns {
+		c.Close()
+	}
+}
+
+// TestRestartBackoffOnFakeClock pins the crash-restart policy to the
+// injected clock: after a crash the relaunch must wait exactly
+// restartBackoff on the manager's clock — no relaunch while the fake clock
+// stands still, a relaunch as soon as it advances past the backoff.
+func TestRestartBackoffOnFakeClock(t *testing.T) {
+	fake := clock.NewFake()
+	f := &fleet{}
+	m, err := New(Config{
+		App:           "t",
+		Components:    inventory(),
+		ScaleInterval: time.Hour, // park the autoscaler; the test owns time
+		Clock:         fake,
+		Logger:        quietLogger(),
+	}, f.starter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	defer f.close()
+
+	if err := m.StartGroup(context.Background(), "A", 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := f.launches(); n != 1 {
+		t.Fatalf("launches after StartGroup = %d, want 1", n)
+	}
+
+	// Crash the replica. The restart must arm a timer on the fake clock.
+	f.mu.Lock()
+	crashed := f.envs[0]
+	f.mu.Unlock()
+	m.ReplicaExited(crashed, errors.New("boom"))
+
+	deadline := time.Now().Add(2 * time.Second)
+	for fake.Waiting() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("restart never armed a timer on the injected clock")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := f.launches(); n != 1 {
+		t.Fatalf("relaunched before the backoff elapsed: launches = %d", n)
+	}
+
+	// Just short of the backoff: still nothing.
+	fake.Advance(restartBackoff - time.Millisecond)
+	if fake.Waiting() != 1 {
+		t.Fatalf("timer fired %v early", time.Millisecond)
+	}
+	if n := f.launches(); n != 1 {
+		t.Fatalf("relaunched %v early: launches = %d", time.Millisecond, n)
+	}
+
+	// Past the backoff: the relaunch happens.
+	fake.Advance(time.Millisecond)
+	deadline = time.Now().Add(2 * time.Second)
+	for f.launches() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no relaunch after advancing past the backoff: launches = %d", f.launches())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	f.mu.Lock()
+	relaunched := f.ids[1]
+	f.mu.Unlock()
+	if relaunched != "A/1" {
+		t.Errorf("relaunched replica id = %q, want A/1", relaunched)
 	}
 }

@@ -3,15 +3,16 @@ package manager
 // This file implements live re-placement: the manager periodically
 // re-plans colocation from the observed call graph and applies the plan to
 // the running deployment by moving components between groups, without
-// dropping or duplicating calls. See DESIGN.md §10 for the protocol.
+// dropping or duplicating calls. See DESIGN.md §10 for the protocol. The
+// planning half is the pure cplane.ReconcilePlacement reconciler; this
+// file is the move actuation.
 
 import (
 	"context"
 	"fmt"
-	"sort"
-	"sync"
 	"time"
 
+	"repro/internal/cplane"
 	"repro/internal/envelope"
 	"repro/internal/pipe"
 	"repro/internal/placement"
@@ -45,11 +46,10 @@ type PlacementStatus struct {
 
 // grouping snapshots the current group -> components map.
 func (m *Manager) grouping() map[string][]string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string][]string, len(m.groups))
-	for name, g := range m.groups {
-		out[name] = append([]string(nil), g.components...)
+	s := m.store.Snapshot()
+	out := make(map[string][]string, len(s.Groups))
+	for name, g := range s.Groups {
+		out[name] = append([]string(nil), g.Components...)
 	}
 	return out
 }
@@ -98,32 +98,13 @@ func (m *Manager) placementLoop() {
 	}
 }
 
-// placementOnce runs one iteration of the control loop: plan, compare
-// against the running grouping, and move components if the gain clears the
-// threshold. Components of the "main" group — the driver process — are
-// never moved automatically in either direction.
+// placementOnce runs one iteration of the control loop: the pure
+// reconciler plans from the observed state and merged call graph, and the
+// moves it returns (if any) are applied one by one.
 func (m *Manager) placementOnce(ctx context.Context) error {
-	g := m.graph.Analyze()
-	var total uint64
-	for _, e := range g.Edges {
-		if e.Caller != "" {
-			total += e.Calls
-		}
-	}
-	if total < m.cfg.PlacementMinCalls {
-		return nil // not enough signal yet
-	}
-	current := m.grouping()
-	ev := placement.Evaluate(g, m.cfg.Placement)
-	cur := placement.Score(g, current)
-	if ev.Score-cur < m.cfg.PlacementMinGain {
-		return nil // running grouping is good enough
-	}
-	moves := placement.Diff(current, ev.Plan)
+	moves := cplane.ReconcilePlacement(m.store.Snapshot(), m.graph.Analyze(),
+		m.cfg.Placement, m.cfg.PlacementMinGain, m.cfg.PlacementMinCalls)
 	for _, mv := range moves {
-		if mv.From == "main" || mv.To == "main" {
-			continue
-		}
 		if err := m.MoveComponent(ctx, mv.Component, mv.To); err != nil {
 			return fmt.Errorf("moving %s from %s to %s: %w", mv.Component, mv.From, mv.To, err)
 		}
@@ -144,11 +125,11 @@ const (
 //  1. Ensure the destination group exists and runs a ready replica.
 //  2. Host the component on every destination replica and wait until its
 //     handlers serve (epoch vHost).
-//  3. Under the manager lock, flip ownership in the group tables and stamp
-//     a fresh epoch vFlip; broadcast the component's new routing to every
-//     proclet and wait for all acks. From each proclet's ack on, its new
-//     calls target the destination; calls already in flight complete where
-//     they started.
+//  3. In one store update, flip ownership in the control-plane state and
+//     stamp a fresh epoch vFlip; broadcast the component's new routing to
+//     every proclet and wait for all acks. From each proclet's ack on, its
+//     new calls target the destination; calls already in flight complete
+//     where they started.
 //  4. Re-push hosting to destination replicas that registered mid-move.
 //  5. Tell the old hosts to stop the component: each demotes its local
 //     route, unregisters the handlers, and acks once in-flight calls have
@@ -162,50 +143,56 @@ func (m *Manager) MoveComponent(ctx context.Context, component, dest string) err
 	m.moveMu.Lock()
 	defer m.moveMu.Unlock()
 
-	m.mu.Lock()
-	if m.stopped {
-		m.mu.Unlock()
+	if m.isStopped() {
 		return fmt.Errorf("manager: stopped")
 	}
-	src, ok := m.compGroup[component]
-	if !ok {
-		m.mu.Unlock()
+	var (
+		src      string
+		known    bool
+		addGroup error
+	)
+	m.store.Update(func(s *cplane.State) {
+		src, known = s.CompGroup[component]
+		if !known || src == dest {
+			return
+		}
+		if s.Groups[dest] == nil {
+			addGroup = m.addGroupTo(s, dest, nil)
+		}
+	})
+	if !known {
 		return fmt.Errorf("manager: unknown component %q", component)
 	}
 	if src == dest {
-		m.mu.Unlock()
 		return nil
 	}
-	srcG := m.groups[src]
-	dstG := m.groups[dest]
-	if dstG == nil {
-		if err := m.addGroupLocked(dest, nil); err != nil {
-			m.mu.Unlock()
-			return err
-		}
-		dstG = m.groups[dest]
+	if addGroup != nil {
+		return addGroup
 	}
-	routed := srcG.routed[component]
-	m.mu.Unlock()
 
 	// Step 1: a ready destination replica.
-	min := dstG.as.Config().MinReplicas
+	min := m.scaler(dest).Config().MinReplicas
 	if min < 1 {
 		min = 1
 	}
 	if err := m.StartGroup(ctx, dest, min); err != nil {
 		return err
 	}
-	if err := m.waitGroupReady(ctx, dstG); err != nil {
+	if err := m.waitGroupReady(ctx, dest); err != nil {
 		return err
 	}
 
 	// Step 2: host on the destination.
-	m.mu.Lock()
-	vHost := m.nextEpochLocked()
-	comps := append(append([]string(nil), dstG.components...), component)
-	hosted := m.readyEnvelopesLocked(dstG)
-	m.mu.Unlock()
+	var (
+		vHost  uint64
+		comps  []string
+		hosted []*envelope.Envelope
+	)
+	m.store.Update(func(s *cplane.State) {
+		vHost = s.NextEpoch()
+		comps = append(append([]string(nil), s.Groups[dest].Components...), component)
+		hosted = m.readyEnvelopes(s, dest)
+	})
 	hostOn := func(envs []*envelope.Envelope, v uint64) error {
 		return m.forEachEnvelope(ctx, envs, func(sctx context.Context, e *envelope.Envelope) error {
 			return e.CallHostComponents(sctx, comps, v)
@@ -217,30 +204,32 @@ func (m *Manager) MoveComponent(ctx context.Context, component, dest string) err
 
 	// Step 3: flip ownership + routing under one epoch, broadcast, await
 	// all acks.
+	var (
+		vFlip   uint64
+		ri      pipe.RoutingInfo
+		srcReps []*envelope.Envelope
+	)
+	m.store.Update(func(s *cplane.State) {
+		routed := s.Groups[src].Routed[component]
+		_ = s.Relocate(component, dest)
+		vFlip = s.NextEpoch()
+		addrs := s.ReadyAddrs(dest)
+		ri = pipe.RoutingInfo{Component: component, Replicas: addrs, Version: vFlip}
+		if routed && len(addrs) > 0 {
+			a := routing.EqualSlices(vFlip, addrs, m.cfg.SlicesPerReplica)
+			ri.Assignment = &a
+		}
+		s.LastPush[component] = cplane.Push{Version: vFlip, Addrs: addrs}
+		srcReps = m.readyEnvelopes(s, src)
+	})
 	m.mu.Lock()
-	srcG.components = removeString(srcG.components, component)
-	delete(srcG.routed, component)
-	dstG.components = append(dstG.components, component)
-	sort.Strings(dstG.components)
-	dstG.routed[component] = routed
-	m.compGroup[component] = dest
-	vFlip := m.nextEpochLocked()
-	addrs := readyAddrsLocked(dstG)
-	ri := pipe.RoutingInfo{Component: component, Replicas: addrs, Version: vFlip}
-	if routed && len(addrs) > 0 {
-		a := routing.EqualSlices(vFlip, addrs, m.cfg.SlicesPerReplica)
-		ri.Assignment = &a
-	}
-	m.lastPush[component] = pushRecord{version: vFlip, addrs: addrs}
 	all := make([]*envelope.Envelope, 0, len(m.envelopes))
 	for e := range m.envelopes {
 		all = append(all, e)
 	}
-	srcReps := m.readyEnvelopesLocked(srcG)
 	m.mu.Unlock()
-	if err := m.forEachEnvelope(ctx, all, func(sctx context.Context, e *envelope.Envelope) error {
-		return e.CallRoutingInfo(sctx, ri)
-	}); err != nil {
+	m.recordAction("push", fmt.Sprintf("move flip %s -> %s", component, dest), vFlip)
+	if err := m.callRoutingInfo(ctx, all, ri); err != nil {
 		// Ownership already flipped; leave the old hosts serving as a
 		// safety net for whoever missed the ack and report the failure.
 		return fmt.Errorf("manager: broadcasting routing for %s: %w", component, err)
@@ -249,10 +238,14 @@ func (m *Manager) MoveComponent(ctx context.Context, component, dest string) err
 	// Step 4: destination replicas that registered between steps 2 and 3
 	// fetched their hosting list before the flip; re-push so they host the
 	// component too (idempotent on the others).
-	m.mu.Lock()
-	vHost2 := m.nextEpochLocked()
-	late := m.readyEnvelopesLocked(dstG)
-	m.mu.Unlock()
+	var (
+		vHost2 uint64
+		late   []*envelope.Envelope
+	)
+	m.store.Update(func(s *cplane.State) {
+		vHost2 = s.NextEpoch()
+		late = m.readyEnvelopes(s, dest)
+	})
 	if len(late) > len(hosted) {
 		if err := hostOn(late, vHost2); err != nil {
 			return fmt.Errorf("manager: re-hosting %s on %s: %w", component, dest, err)
@@ -277,18 +270,15 @@ func (m *Manager) MoveComponent(ctx context.Context, component, dest string) err
 	return nil
 }
 
-// waitGroupReady blocks until g has at least one routable replica.
-func (m *Manager) waitGroupReady(ctx context.Context, g *group) error {
+// waitGroupReady blocks until a group has at least one routable replica.
+func (m *Manager) waitGroupReady(ctx context.Context, group string) error {
 	deadline := time.Now().Add(moveReadyTimeout)
 	for {
-		m.mu.Lock()
-		n := len(readyAddrsLocked(g))
-		m.mu.Unlock()
-		if n > 0 {
+		if len(m.store.Snapshot().ReadyAddrs(group)) > 0 {
 			return nil
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("manager: group %q has no ready replica", g.name)
+			return fmt.Errorf("manager: group %q has no ready replica", group)
 		}
 		select {
 		case <-time.After(20 * time.Millisecond):
@@ -300,58 +290,17 @@ func (m *Manager) waitGroupReady(ctx context.Context, g *group) error {
 	}
 }
 
-// readyEnvelopesLocked returns the envelopes of g's routable replicas.
-// Caller holds m.mu.
-func (m *Manager) readyEnvelopesLocked(g *group) []*envelope.Envelope {
+// readyEnvelopes returns the envelopes of a group's routable replicas per
+// the state snapshot s.
+func (m *Manager) readyEnvelopes(s *cplane.State, group string) []*envelope.Envelope {
+	ids := s.ReadyReplicaIDs(group)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var envs []*envelope.Envelope
-	for _, r := range g.replicas {
-		if r.ready && r.healthy && !r.stopping && r.env != nil {
-			envs = append(envs, r.env)
+	for _, id := range ids {
+		if e := m.envs[id]; e != nil {
+			envs = append(envs, e)
 		}
 	}
 	return envs
-}
-
-// forEachEnvelope runs fn against every envelope in parallel with a
-// per-step timeout and returns the first hard failure. An envelope whose
-// proclet exited during the step does not fail the move: it is gone, and
-// gone proclets hold no stale state.
-func (m *Manager) forEachEnvelope(ctx context.Context, envs []*envelope.Envelope, fn func(context.Context, *envelope.Envelope) error) error {
-	var wg sync.WaitGroup
-	errs := make([]error, len(envs))
-	for i, e := range envs {
-		wg.Add(1)
-		go func(i int, e *envelope.Envelope) {
-			defer wg.Done()
-			sctx, cancel := context.WithTimeout(ctx, moveStepTimeout)
-			defer cancel()
-			err := fn(sctx, e)
-			if err == nil {
-				return
-			}
-			select {
-			case <-e.Done():
-				return // replica exited mid-step; nothing to fence
-			default:
-			}
-			errs[i] = err
-		}(i, e)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func removeString(s []string, v string) []string {
-	out := s[:0]
-	for _, x := range s {
-		if x != v {
-			out = append(out, x)
-		}
-	}
-	return out
 }

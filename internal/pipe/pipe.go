@@ -50,6 +50,7 @@ const (
 	KindShutdown         = 10 // envelope -> proclet
 	KindAck              = 11 // either direction (reply to ID-carrying requests)
 	KindStopComponent    = 12 // envelope -> proclet (request; acked once drained)
+	KindReregister       = 13 // envelope -> proclet (re-send RegisterReplica after a manager rebuild)
 )
 
 // Message is the single wire envelope for all control-plane traffic. Kind
@@ -81,6 +82,19 @@ type RegisterReplica struct {
 	// components.
 	Addr    string `tag:"4"`
 	Version string `tag:"5"` // application version, for atomic rollouts
+
+	// The remaining fields let a rebuilt manager recover observed state
+	// from re-registration alone (the envelope pushes KindReregister after
+	// a manager restart, and the proclet answers with a fresh, complete
+	// registration). Hosted lists the components this proclet currently
+	// hosts; Routing carries the newest routing epoch it has applied per
+	// component; Epoch is the highest routing/placement epoch it has seen
+	// anywhere. A recovering manager floors its epoch counter at the
+	// maximum reported Epoch so fresh broadcasts are never fenced out as
+	// stale.
+	Hosted  []string          `tag:"6"`
+	Routing map[string]uint64 `tag:"7"`
+	Epoch   uint64            `tag:"8"`
 }
 
 // StartComponent asks the runtime to ensure a component is started,

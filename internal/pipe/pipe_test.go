@@ -47,8 +47,37 @@ func TestRegisterReplicaRoundTrip(t *testing.T) {
 	if got.Kind != KindRegisterReplica || got.ID != 7 {
 		t.Errorf("got %+v", got)
 	}
-	if *got.RegisterReplica != *want.RegisterReplica {
+	gr, wr := got.RegisterReplica, want.RegisterReplica
+	if gr.ProcletID != wr.ProcletID || gr.Group != wr.Group || gr.Pid != wr.Pid ||
+		gr.Addr != wr.Addr || gr.Version != wr.Version {
 		t.Errorf("payload = %+v", got.RegisterReplica)
+	}
+}
+
+func TestRegisterReplicaRecoveryFields(t *testing.T) {
+	env, proc := pair(t)
+	go func() {
+		_ = proc.Send(&Message{
+			Kind: KindRegisterReplica,
+			RegisterReplica: &RegisterReplica{
+				ProcletID: "cart/2",
+				Group:     "cart",
+				Hosted:    []string{"app/Cart", "app/Checkout"},
+				Routing:   map[string]uint64{"app/Cart": 7, "app/Pay": 12},
+				Epoch:     12,
+			},
+		})
+	}()
+	got, err := env.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got.RegisterReplica
+	if r == nil || len(r.Hosted) != 2 || r.Hosted[0] != "app/Cart" {
+		t.Fatalf("hosted = %+v", r)
+	}
+	if r.Epoch != 12 || r.Routing["app/Pay"] != 12 || r.Routing["app/Cart"] != 7 {
+		t.Errorf("recovery fields = %+v", r)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -89,10 +90,11 @@ type Proclet struct {
 	tracer  *tracing.Recorder
 	graph   *callgraph.Collector
 
-	mu      sync.Mutex
-	hosted  map[string]bool
-	routes  map[string]*routeState
-	started map[string]bool // StartComponent already sent
+	mu       sync.Mutex
+	hosted   map[string]bool
+	routes   map[string]*routeState
+	started  map[string]bool // StartComponent already sent
+	maxEpoch uint64          // highest routing/placement epoch seen anywhere
 
 	acks   sync.Map // id -> chan *pipe.Message
 	nextID atomic.Uint64
@@ -191,16 +193,7 @@ func Start(ctx context.Context, opts Options) (*Proclet, error) {
 		}
 	}
 
-	if err := p.send(&pipe.Message{
-		Kind: pipe.KindRegisterReplica,
-		RegisterReplica: &pipe.RegisterReplica{
-			ProcletID: opts.ProcletID,
-			Group:     opts.Group,
-			Pid:       int64(os.Getpid()),
-			Addr:      addr,
-			Version:   opts.Version,
-		},
-	}); err != nil {
+	if err := p.send(p.registrationMsg()); err != nil {
 		p.srv.Close()
 		return nil, fmt.Errorf("proclet: registering replica: %w", err)
 	}
@@ -210,8 +203,66 @@ func Start(ctx context.Context, opts Options) (*Proclet, error) {
 	return p, nil
 }
 
+// registrationMsg builds a complete RegisterReplica message reflecting the
+// proclet's current observed state: hosted components, applied routing
+// epochs, and the highest epoch seen. A rebuilt manager recovers its
+// control state from exactly this message (KindReregister), so it must
+// carry everything the control plane cannot rederive on its own.
+func (p *Proclet) registrationMsg() *pipe.Message {
+	p.mu.Lock()
+	hosted := make([]string, 0, len(p.hosted))
+	for c := range p.hosted {
+		hosted = append(hosted, c)
+	}
+	sort.Strings(hosted)
+	applied := make(map[string]uint64, len(p.routes))
+	for c, rs := range p.routes {
+		if rs.applied > 0 {
+			applied[c] = rs.applied
+		}
+	}
+	epoch := p.maxEpoch
+	p.mu.Unlock()
+	return &pipe.Message{
+		Kind: pipe.KindRegisterReplica,
+		RegisterReplica: &pipe.RegisterReplica{
+			ProcletID: p.opts.ProcletID,
+			Group:     p.opts.Group,
+			Pid:       int64(os.Getpid()),
+			Addr:      p.addr,
+			Version:   p.opts.Version,
+			Hosted:    hosted,
+			Routing:   applied,
+			Epoch:     epoch,
+		},
+	}
+}
+
+// noteEpoch records the highest epoch observed on any control push. Caller
+// holds p.mu.
+func (p *Proclet) noteEpochLocked(v uint64) {
+	if v > p.maxEpoch {
+		p.maxEpoch = v
+	}
+}
+
 // Addr returns the proclet's data-plane address.
 func (p *Proclet) Addr() string { return p.addr }
+
+// Group returns the colocation group this proclet belongs to.
+func (p *Proclet) Group() string { return p.opts.Group }
+
+// Hosted returns the sorted components this proclet currently hosts.
+func (p *Proclet) Hosted() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.hosted))
+	for c := range p.hosted {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Runtime returns the component runtime backing this proclet.
 func (p *Proclet) Runtime() *core.Runtime { return p.runtime }
@@ -368,6 +419,11 @@ func (p *Proclet) recvLoop(ctx context.Context) {
 				p.updateRouting(m.RoutingInfo)
 			}
 			p.ackTo(m, nil)
+		case pipe.KindReregister:
+			// A rebuilt manager is recovering observed state: answer with a
+			// fresh, complete registration.
+			_ = p.send(p.registrationMsg())
+			p.ackTo(m, nil)
 		case pipe.KindShutdown:
 			p.Shutdown(nil)
 			return
@@ -395,6 +451,7 @@ func (p *Proclet) ackTo(m *pipe.Message, err error) {
 func (p *Proclet) hostComponents(ctx context.Context, components []string, version uint64) error {
 	var fresh []string
 	p.mu.Lock()
+	p.noteEpochLocked(version)
 	for _, c := range components {
 		if !p.hosted[c] {
 			p.hosted[c] = true
@@ -425,6 +482,7 @@ func (p *Proclet) hostComponents(ctx context.Context, components []string, versi
 // component's handlers are unregistered, draining in-flight remote calls.
 func (p *Proclet) unhostComponent(component string, version uint64) error {
 	p.mu.Lock()
+	p.noteEpochLocked(version)
 	wasHosted := p.hosted[component]
 	delete(p.hosted, component)
 	p.mu.Unlock()
@@ -542,6 +600,7 @@ func (p *Proclet) updateRouting(ri *pipe.RoutingInfo) {
 		p.routes[ri.Component] = rs
 		p.started[ri.Component] = true
 	}
+	p.noteEpochLocked(ri.Version)
 	if ri.Version < rs.version {
 		p.mu.Unlock()
 		return // stale

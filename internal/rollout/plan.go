@@ -1,0 +1,41 @@
+package rollout
+
+import "time"
+
+// A Plan is the pure description of a gradual traffic shift: Steps equal
+// weight increments, each held for Step. It is the rollout counterpart of
+// the control plane's reconcilers — a value that maps elapsed time to the
+// desired new-version weight — so the shift schedule is unit-testable
+// without a director, a proxy, or a clock. The actuator (cmd/weaver's
+// rollout loop) reads WeightAt and applies it with Director.SetWeight.
+type Plan struct {
+	Steps int           // number of weight increments
+	Step  time.Duration // how long each increment is held
+}
+
+// WeightAt returns the new-version traffic fraction the rollout should
+// serve once elapsed time has passed since the shift began: 1/Steps
+// immediately, one increment more after each further Step, clamped to 1.
+// A degenerate plan (no steps or no duration) shifts everything at once.
+func (p Plan) WeightAt(elapsed time.Duration) float64 {
+	if p.Steps <= 0 || p.Step <= 0 {
+		return 1
+	}
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	step := int(elapsed/p.Step) + 1
+	if step > p.Steps {
+		step = p.Steps
+	}
+	return float64(step) / float64(p.Steps)
+}
+
+// Done reports whether the shift has run its full course after elapsed
+// time: every increment has been held for its Step.
+func (p Plan) Done(elapsed time.Duration) bool {
+	if p.Steps <= 0 || p.Step <= 0 {
+		return true
+	}
+	return elapsed >= time.Duration(p.Steps)*p.Step
+}

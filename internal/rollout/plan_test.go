@@ -1,0 +1,72 @@
+package rollout
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPlanWeightSchedule(t *testing.T) {
+	p := Plan{Steps: 5, Step: 3 * time.Second}
+	cases := []struct {
+		elapsed time.Duration
+		want    float64
+	}{
+		{0, 0.2},
+		{time.Second, 0.2},
+		{3*time.Second - time.Nanosecond, 0.2},
+		{3 * time.Second, 0.4},
+		{6 * time.Second, 0.6},
+		{12 * time.Second, 1.0},
+		{14 * time.Second, 1.0},
+		{time.Hour, 1.0}, // clamps past the last step
+		{-time.Second, 0.2},
+	}
+	for _, c := range cases {
+		if got := p.WeightAt(c.elapsed); got != c.want {
+			t.Errorf("WeightAt(%v) = %v, want %v", c.elapsed, got, c.want)
+		}
+	}
+}
+
+func TestPlanDone(t *testing.T) {
+	p := Plan{Steps: 5, Step: 3 * time.Second}
+	if p.Done(0) {
+		t.Error("done at start")
+	}
+	if p.Done(15*time.Second - time.Nanosecond) {
+		t.Error("done before the last step was held")
+	}
+	if !p.Done(15 * time.Second) {
+		t.Error("not done after all steps elapsed")
+	}
+}
+
+func TestPlanActuationMatchesStepSequence(t *testing.T) {
+	// Driving a Plan the way cmd/weaver does must reproduce the classic
+	// step/Steps weight sequence exactly, once per step.
+	p := Plan{Steps: 4, Step: time.Second}
+	var got []float64
+	for elapsed := time.Duration(0); !p.Done(elapsed); elapsed += p.Step {
+		got = append(got, p.WeightAt(elapsed))
+	}
+	want := []float64{0.25, 0.5, 0.75, 1.0}
+	if len(got) != len(want) {
+		t.Fatalf("actuation produced %d weights %v, want %v", len(got), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("step %d weight = %v, want %v", i+1, got[i], want[i])
+		}
+	}
+}
+
+func TestPlanDegenerate(t *testing.T) {
+	for _, p := range []Plan{{}, {Steps: 3}, {Step: time.Second}, {Steps: -1, Step: time.Second}} {
+		if w := p.WeightAt(0); w != 1 {
+			t.Errorf("%+v WeightAt(0) = %v, want 1 (shift everything at once)", p, w)
+		}
+		if !p.Done(0) {
+			t.Errorf("%+v not immediately done", p)
+		}
+	}
+}

@@ -50,17 +50,17 @@ type flushEntry struct {
 // callers may recycle pooled frames the moment write returns.
 type connFlusher struct {
 	w     io.Writer
-	tx    *metrics.Counter    // payload bytes (prefix excluded), successful writes only
-	hist  *metrics.Histogram  // frames per flush batch
-	stall *atomic.Int64       // injected pre-flush stall (chaos); nil on clients
+	tx    *metrics.Counter   // payload bytes (prefix excluded), successful writes only
+	hist  *metrics.Histogram // frames per flush batch
+	stall *atomic.Int64      // injected pre-flush stall (chaos); nil on clients
 	clk   clock.Clock
 
-	mu       sync.Mutex
-	flushed  sync.Cond // doneSeq advanced or err set
-	space    sync.Cond // pendingBytes dropped below the backlog cap
-	queue    []flushEntry
-	spare    []flushEntry // recycled backing array for queue
-	bufs     [][]byte     // reusable writev scratch
+	mu        sync.Mutex
+	flushed   sync.Cond // doneSeq advanced or err set
+	space     sync.Cond // pendingBytes dropped below the backlog cap
+	queue     []flushEntry
+	spare     []flushEntry // recycled backing array for queue
+	bufs      [][]byte     // reusable writev scratch
 	enqSeq    uint64       // sequence of the last enqueued frame
 	doneSeq   uint64       // sequence of the last frame on the wire
 	pending   int          // bytes queued but not yet written

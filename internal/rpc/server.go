@@ -121,10 +121,10 @@ type Server struct {
 	flushStallNanos atomic.Int64
 
 	// Metrics.
-	requests *metrics.Counter
-	errored  *metrics.Counter
-	shed     *metrics.Counter
-	unavail  *metrics.Counter
+	requests  *metrics.Counter
+	errored   *metrics.Counter
+	shed      *metrics.Counter
+	unavail   *metrics.Counter
 	rxBytes   *metrics.Counter
 	txBytes   *metrics.Counter
 	flushHist *metrics.Histogram

@@ -20,20 +20,21 @@ type Kind int
 // deployment fabric: crash-and-restart, explicit resharding, live
 // re-placement, and data-plane degradation.
 const (
-	OpPut      Kind = iota // direct Store.Put, affinity-routed by key
-	OpGet                  // direct Store.Get
-	OpProxyPut             // Store.Put relayed through colocated StoreProxy
-	OpProxyGet             // Store.Get relayed through colocated StoreProxy
-	OpDeliver              // Mover.Deliver, at-most-once semantics
-	OpEcho                 // unrouted sanity call
-	OpKill                 // crash a replica; the manager must heal it
-	OpScale                // resize a group to N replicas
-	OpMove                 // live re-placement of Mover between groups
-	OpDegrade              // inject data-plane delay into a replica
-	OpRestore              // remove injected delay
-	OpDegradeBatch         // stall a replica's response flusher (forces write coalescing)
-	OpRestoreBatch         // remove injected flush stall
-	OpBurst                // mixed-priority burst: concurrent low Gets + high Delivers
+	OpPut          Kind = iota // direct Store.Put, affinity-routed by key
+	OpGet                      // direct Store.Get
+	OpProxyPut                 // Store.Put relayed through colocated StoreProxy
+	OpProxyGet                 // Store.Get relayed through colocated StoreProxy
+	OpDeliver                  // Mover.Deliver, at-most-once semantics
+	OpEcho                     // unrouted sanity call
+	OpKill                     // crash a replica; the manager must heal it
+	OpScale                    // resize a group to N replicas
+	OpMove                     // live re-placement of Mover between groups
+	OpDegrade                  // inject data-plane delay into a replica
+	OpRestore                  // remove injected delay
+	OpDegradeBatch             // stall a replica's response flusher (forces write coalescing)
+	OpRestoreBatch             // remove injected flush stall
+	OpBurst                    // mixed-priority burst: concurrent low Gets + high Delivers
+	OpMgrRestart               // tear down the manager and rebuild it from re-registration
 )
 
 // Burst shape: enough concurrent low-priority Store.Gets to saturate a
@@ -89,6 +90,8 @@ func (o Op) String() string {
 		return fmt.Sprintf("restore-dataplane-batching %s[%d]", o.Group, o.Index)
 	case OpBurst:
 		return fmt.Sprintf("burst %dx get %s + delivers %d..%d", burstGets, o.Key, o.Val, o.Val+burstDelivers-1)
+	case OpMgrRestart:
+		return "restart manager"
 	}
 	return fmt.Sprintf("op(%d)", int(o.Kind))
 }
@@ -148,6 +151,11 @@ func Generate(seed uint64, n int) []Op {
 			ops = append(ops, Op{Kind: OpMove})
 		case r < 92:
 			ops = append(ops, Op{Kind: OpDegrade, Group: "kv", Index: rng.IntN(4)})
+		case r == 93:
+			// Carved out of the degrade-batching band without consuming an
+			// extra rng draw, so every pre-existing pinned seed's trace is
+			// unchanged (none of the smoke-campaign seeds draws 93).
+			ops = append(ops, Op{Kind: OpMgrRestart})
 		case r < 95:
 			ops = append(ops, Op{Kind: OpDegradeBatch, Group: "kv", Index: rng.IntN(4)})
 		case r < 98:

@@ -14,10 +14,16 @@
 //   - at-most-once semantics for weaver:noretry calls: every acknowledged
 //     delivery executed exactly once, nothing executed twice, nothing
 //     executed that was never sent;
-//   - routing epochs observed by the driver never regress.
+//   - routing epochs observed by the driver never regress — including
+//     across a manager teardown and rebuild (OpMgrRestart);
+//   - the published control-plane state satisfies its structural
+//     invariants after every op (hosting bijection, epoch bounds, replica
+//     bookkeeping — cplane.CheckInvariants), and no live proclet hosts a
+//     component the control plane assigns to another group.
 //
-// Faults — replica crashes, explicit resharding, live re-placement, and
-// data-plane degradation — are drawn from the same seed, so a failure
+// Faults — replica crashes, explicit resharding, live re-placement,
+// manager restarts, and data-plane degradation — are drawn from the same
+// seed, so a failure
 // reproduces from the printed seed alone, and the harness shrinks the
 // failing schedule to a minimal op trace (Shrink) before reporting it.
 //
@@ -39,6 +45,7 @@ import (
 
 	"repro/internal/autoscale"
 	"repro/internal/chaos"
+	"repro/internal/cplane"
 	"repro/internal/deploy"
 	"repro/internal/logging"
 	"repro/internal/manager"
@@ -115,9 +122,9 @@ type world struct {
 	// grammar stays portable to any deployment implementing chaos.Surface.
 	faults chaos.Surface
 	store  testpkg.Store
-	proxy testpkg.StoreProxy
-	mover testpkg.Mover
-	echo  testpkg.Echo
+	proxy  testpkg.StoreProxy
+	mover  testpkg.Mover
+	echo   testpkg.Echo
 
 	// expect holds the per-key register expectation: the last acknowledged
 	// write since the key's hosting topology last changed. Keys are removed
@@ -161,7 +168,7 @@ func newWorld(ctx context.Context, bypass bool) (*world, error) {
 			// come close to the limit.
 			MaxInflightPerReplica: 2,
 			MaxOverloadQueue:      2,
-			Logger:        logging.New(logging.Options{Component: "manager", Min: logging.LevelError}),
+			Logger:                logging.New(logging.Options{Component: "manager", Min: logging.LevelError}),
 		},
 		Fill:                     fill,
 		BypassAssignmentDispatch: bypass,
@@ -451,6 +458,35 @@ func (w *world) apply(ctx context.Context, i int, op Op) (string, error) {
 		if len(ids) > 0 {
 			w.faults.DegradeBatching(ids[op.Index%len(ids)], 0)
 		}
+
+	case OpMgrRestart:
+		// Tear the manager down and rebuild it purely from proclet
+		// re-registration. The fleet keeps running; afterwards the routing
+		// epoch must sit above everything the driver ever observed (no
+		// regressions under the new manager) and the at-most-once ledger
+		// must still balance.
+		rctx, rcancel := context.WithTimeout(ctx, settleTimeout)
+		mgr, err := w.d.RestartManager(rctx)
+		rcancel()
+		if err != nil {
+			return "", fmt.Errorf("op %d (%s): RestartManager: %w", i, op, err)
+		}
+		var maxApplied uint64
+		for _, v := range w.lastVersion {
+			if v > maxApplied {
+				maxApplied = v
+			}
+		}
+		if post := mgr.RouteEpoch(); post < maxApplied {
+			return fmt.Sprintf("op %d (%s): rebuilt manager recovered epoch %d below applied epoch %d",
+				i, op, post, maxApplied), nil
+		}
+		if err := w.settle(ctx); err != nil {
+			return "", fmt.Errorf("op %d (%s): %w", i, op, err)
+		}
+		if v := w.checkAMO(fmt.Sprintf("op %d (%s)", i, op)); v != "" {
+			return v, nil
+		}
 	}
 
 	// Routing epochs the driver observes must never regress.
@@ -462,7 +498,42 @@ func (w *world) apply(ctx context.Context, i int, op Op) (string, error) {
 		}
 		w.lastVersion[comp] = v
 	}
+	if v := w.checkControlState(i, op); v != "" {
+		return v, nil
+	}
 	return "", nil
+}
+
+// checkControlState asserts the control plane's structural invariants on
+// the published state after every op (epoch bounds, hosting bijection,
+// replica bookkeeping), and cross-checks it against the live fleet: no
+// proclet the control plane believes in may host a component the control
+// plane assigns elsewhere (an orphaned hosting would mean a move or crash
+// left stale handlers serving).
+func (w *world) checkControlState(i int, op Op) string {
+	s := w.d.Manager.ControlState()
+	if err := cplane.CheckInvariants(s); err != nil {
+		return fmt.Sprintf("op %d (%s): control-plane invariant: %v", i, op, err)
+	}
+	live := map[string]string{} // replica id -> group
+	for name, g := range s.Groups {
+		for id := range g.Replicas {
+			live[id] = name
+		}
+	}
+	for id, p := range w.d.Proclets() {
+		gname, ok := live[id]
+		if !ok {
+			continue // dead or not-yet-registered proclets hold no authority
+		}
+		for _, c := range p.Hosted() {
+			if s.CompGroup[c] != gname {
+				return fmt.Sprintf("op %d (%s): orphaned hosting: proclet %s (group %s) hosts %s, control plane assigns it to %s",
+					i, op, id, gname, c, s.CompGroup[c])
+			}
+		}
+	}
+	return ""
 }
 
 // settle blocks until the deployment has converged on the current topology:

@@ -56,5 +56,5 @@ bench:
 # machine-readable JSON in BENCH_rpc.json (EXPERIMENTS.md A9), and the
 # placement planner benchmark in BENCH_placement.json (EXPERIMENTS.md A6/A10).
 bench-json:
-	go test -run xxx -bench 'BenchmarkTransport|BenchmarkCall|BenchmarkPriority' -benchmem ./internal/rpc . | go run ./cmd/benchjson -out BENCH_rpc.json
+	go test -run xxx -bench 'BenchmarkTransport|BenchmarkCall|BenchmarkPriority|BenchmarkReadBatch' -benchmem ./internal/rpc . | go run ./cmd/benchjson -out BENCH_rpc.json
 	go test -run xxx -bench 'BenchmarkPlacement' -benchmem . | go run ./cmd/benchjson -out BENCH_placement.json

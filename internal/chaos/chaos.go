@@ -47,6 +47,12 @@ type Surface interface {
 	// responses to coalesce into deep batches and exercising the write
 	// path's backpressure. It reports whether the replica existed.
 	DegradeBatching(id string, stall time.Duration) bool
+	// StallReads stalls a replica's data-plane frame reader by stall
+	// before every batched read (0 restores it): the slow-reader fault.
+	// Requests pile up in the replica's socket buffers and arrive in deep
+	// read batches, exercising the receive path's amortized parsing and
+	// buffer handoff. It reports whether the replica existed.
+	StallReads(id string, stall time.Duration) bool
 }
 
 var _ Surface = (*deploy.InProcess)(nil)
@@ -68,6 +74,10 @@ const (
 	// BatchStall for DegradeDuration, forcing its data plane through the
 	// write-coalescing (group-commit) paths under load.
 	DegradeBatching
+	// StallRead stalls a random replica's batched frame reader by
+	// ReadStall for DegradeDuration, so inbound requests pile up in the
+	// socket buffer and drain in deep read batches.
+	StallRead
 )
 
 // Options configures a chaos run.
@@ -99,6 +109,9 @@ type Options struct {
 	// (default 2ms — long enough that concurrent responses pile into one
 	// batch, short enough that workload deadlines hold).
 	BatchStall time.Duration
+	// ReadStall is the pre-read stall injected by StallRead faults
+	// (default 2ms, same calibration as BatchStall).
+	ReadStall time.Duration
 	// MeanBetweenFaults is the average pause between injections
 	// (default 200ms).
 	MeanBetweenFaults time.Duration
@@ -167,6 +180,9 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	}
 	if opts.BatchStall <= 0 {
 		opts.BatchStall = 2 * time.Millisecond
+	}
+	if opts.ReadStall <= 0 {
+		opts.ReadStall = 2 * time.Millisecond
 	}
 	clk := clock.Or(opts.Clock)
 	rng := rand.New(rand.NewPCG(opts.Seed, 0xc0ffee))
@@ -266,6 +282,16 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 				timer := clk.AfterFunc(opts.DegradeDuration, func() {
 					defer restoreWG.Done()
 					opts.Surface.DegradeBatching(victim, 0)
+				})
+				defer timer.Stop()
+			}
+		case StallRead:
+			if opts.Surface.StallReads(victim, opts.ReadStall) {
+				res.FaultsInjected++
+				restoreWG.Add(1)
+				timer := clk.AfterFunc(opts.DegradeDuration, func() {
+					defer restoreWG.Done()
+					opts.Surface.StallReads(victim, 0)
 				})
 				defer timer.Stop()
 			}

@@ -110,6 +110,11 @@ func (o *ConnOptions) fill() {
 		o.NoReplicaGrace = 3 * time.Second
 	}
 	o.Clock = clock.Or(o.Clock)
+	if o.Client.Clock == nil {
+		// The rpc client's own timers (ping timeout) follow the conn's
+		// injected clock unless the caller pinned one explicitly.
+		o.Client.Clock = o.Clock
+	}
 }
 
 // hedgeMinDelay floors the adaptive hedge delay: when calls complete in

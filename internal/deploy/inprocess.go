@@ -292,6 +292,21 @@ func (d *InProcess) DegradeBatching(id string, stall time.Duration) bool {
 	return true
 }
 
+// StallReads stalls a replica's data-plane frame reader by stall before
+// every batched read (0 restores it) — the slow-reader fault: inbound
+// requests pile up in the socket buffer and drain in deep read batches. It
+// returns false if the replica does not exist.
+func (d *InProcess) StallReads(id string, stall time.Duration) bool {
+	d.mu.Lock()
+	p, ok := d.proclets[id]
+	d.mu.Unlock()
+	if !ok {
+		return false
+	}
+	p.InjectReadStall(stall)
+	return true
+}
+
 // KillReplica abruptly terminates a replica's proclet (no graceful
 // shutdown), simulating a crash for chaos tests. It returns false if the
 // replica does not exist.

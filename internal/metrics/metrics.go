@@ -89,6 +89,11 @@ func (h *Histogram) Put(v float64) {
 // Count returns the number of recorded observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Sum returns the sum of recorded observations (only positive observations
+// contribute). Count and Sum together give the distribution's mean — e.g.
+// frames drained per batched read.
+func (h *Histogram) Sum() float64 { return float64(h.sum.Load()) / 1e6 }
+
 // Snapshot is a point-in-time copy of a metric's state, suitable for
 // shipping over the control plane. Snapshots of the same metric from
 // different replicas merge additively.

@@ -281,6 +281,12 @@ func (p *Proclet) InjectDataPlaneDelay(d time.Duration) { p.srv.SetDelay(d) }
 // the degrade-dataplane-batching fault.
 func (p *Proclet) InjectFlushStall(d time.Duration) { p.srv.SetFlushStall(d) }
 
+// InjectReadStall makes the data-plane server stall d before every batched
+// frame read (0 clears it), so inbound requests pile up in the socket
+// buffer and arrive in deep read batches. The chaos and sim harnesses use
+// it as the stall-read (slow reader) fault.
+func (p *Proclet) InjectReadStall(d time.Duration) { p.srv.SetReadStall(d) }
+
 // Route returns the data-plane connection this proclet uses to call the
 // named remote component, if one has been built. Tests use it to observe
 // breaker and hedging state.

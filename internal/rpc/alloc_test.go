@@ -51,9 +51,11 @@ func zeroAllocEchoPeer(conn net.Conn) {
 }
 
 // TestAllocsClientCall gates the client fast path: encoding into a pooled
-// headroom buffer plus CallFramed plus Release must cost at most 2
-// allocations per call (budget: the pending-reply channel, plus slack for
-// map-bucket growth).
+// headroom buffer plus CallFramed plus Release must cost at most 1
+// allocation per call. The steady state measures zero — the completion
+// slot is a pooled waiter, the response a pooled Response, the payload a
+// slice of the batched read buffer — and the budget of 1 is slack for
+// pending-map bucket growth.
 func TestAllocsClientCall(t *testing.T) {
 	if raceEnabled {
 		t.Skip("alloc counts are nondeterministic under the race detector (sync.Pool drops Puts)")
@@ -89,14 +91,14 @@ func TestAllocsClientCall(t *testing.T) {
 	call() // warm up: dial, pools, map buckets
 
 	allocs := testing.AllocsPerRun(200, call)
-	if allocs > 2 {
-		t.Errorf("client call path allocates %.1f allocs/op, budget is 2", allocs)
+	if allocs > 1 {
+		t.Errorf("client call path allocates %.1f allocs/op, budget is 1", allocs)
 	}
 }
 
 // TestAllocsMetaDefaultCall gates the zero-cost-metadata contract: a call
 // whose CallMeta is the zero value must cost exactly what a pre-metadata
-// call cost — the same 2-alloc budget as TestAllocsClientCall — because
+// call cost — the same 1-alloc budget as TestAllocsClientCall — because
 // default metadata encodes as the fixed header with no extension bytes.
 func TestAllocsMetaDefaultCall(t *testing.T) {
 	if raceEnabled {
@@ -130,8 +132,8 @@ func TestAllocsMetaDefaultCall(t *testing.T) {
 	call() // warm up: dial, pools, map buckets
 
 	allocs := testing.AllocsPerRun(200, call)
-	if allocs > 2 {
-		t.Errorf("default-meta call path allocates %.1f allocs/op, budget is 2", allocs)
+	if allocs > 1 {
+		t.Errorf("default-meta call path allocates %.1f allocs/op, budget is 1", allocs)
 	}
 
 	// Non-default metadata may pay its varint bytes but still must not
@@ -150,14 +152,14 @@ func TestAllocsMetaDefaultCall(t *testing.T) {
 	}
 	callMeta()
 	allocs = testing.AllocsPerRun(200, callMeta)
-	if allocs > 2 {
-		t.Errorf("extended-meta call path allocates %.1f allocs/op, budget is 2", allocs)
+	if allocs > 1 {
+		t.Errorf("extended-meta call path allocates %.1f allocs/op, budget is 1", allocs)
 	}
 }
 
 // TestAllocsServerDispatch gates the server fast path: admission, dispatch
 // through a framed handler that answers from a pooled encoder, and the
-// in-place response write must cost at most 4 allocations per request
+// in-place response write must cost at most 3 allocations per request
 // (budget: context.WithValue plus the boxed CallInfo, plus slack).
 func TestAllocsServerDispatch(t *testing.T) {
 	if raceEnabled {
@@ -182,16 +184,17 @@ func TestAllocsServerDispatch(t *testing.T) {
 	serve() // warm up pools
 
 	allocs := testing.AllocsPerRun(200, serve)
-	if allocs > 4 {
-		t.Errorf("server dispatch path allocates %.1f allocs/op, budget is 4", allocs)
+	if allocs > 3 {
+		t.Errorf("server dispatch path allocates %.1f allocs/op, budget is 3", allocs)
 	}
 }
 
 // TestAllocsBatchedClientCalls gates the client side of the batched
 // (group-commit) write path: concurrent calls that coalesce into shared
-// flush batches must stay within 9 allocations per call, counting the
-// caller goroutines themselves. The echo peer reuses its buffers, so every
-// counted allocation is client-side.
+// flush batches must stay within 3 allocations per call, counting the
+// caller goroutines themselves (pooled waiter slots brought this down from
+// 9: no per-call completion channel survives). The echo peer reuses its
+// buffers, so every counted allocation is client-side.
 func TestAllocsBatchedClientCalls(t *testing.T) {
 	if raceEnabled {
 		t.Skip("alloc counts are nondeterministic under the race detector (sync.Pool drops Puts)")
@@ -236,8 +239,8 @@ func TestAllocsBatchedClientCalls(t *testing.T) {
 	const runs = 50
 	flushesBefore := c.flushHist.Count()
 	allocs := testing.AllocsPerRun(runs, batch) / width
-	if allocs > 9 {
-		t.Errorf("batched client call path allocates %.1f allocs/op, budget is 9", allocs)
+	if allocs > 3 {
+		t.Errorf("batched client call path allocates %.1f allocs/op, budget is 3", allocs)
 	}
 	// Prove the gate measured the batched path: writes on a net.Pipe park
 	// the flusher, so concurrent frames must have shared flushes — fewer
@@ -290,8 +293,8 @@ func TestAllocsCompressedCall(t *testing.T) {
 	// Per op: the client's legacy-Call result copy, the server handler's
 	// echo slice, one exact-size inflate output per direction, and the
 	// uncompressed end-to-end bookkeeping (goroutine, context, channel).
-	if allocs > 24 {
-		t.Errorf("compressed round trip allocates %.1f allocs/op, budget is 24", allocs)
+	if allocs > 12 {
+		t.Errorf("compressed round trip allocates %.1f allocs/op, budget is 12", allocs)
 	}
 }
 
@@ -341,7 +344,7 @@ func TestAllocsEndToEnd(t *testing.T) {
 	allocs := testing.AllocsPerRun(100, call)
 	// Both sides of a real connection run here: the client channel, the
 	// server's per-request goroutine, context, and inflight bookkeeping.
-	if allocs > 16 {
-		t.Errorf("end-to-end round trip allocates %.1f allocs/op, budget is 16", allocs)
+	if allocs > 6 {
+		t.Errorf("end-to-end round trip allocates %.1f allocs/op, budget is 6", allocs)
 	}
 }

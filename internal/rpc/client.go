@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/metrics"
 	"repro/internal/tracing"
 )
@@ -75,6 +76,7 @@ type Client struct {
 	rxBytes   *metrics.Counter
 	calls     *metrics.Counter
 	flushHist *metrics.Histogram
+	readHist  *metrics.Histogram
 }
 
 // ClientOptions configures a Client.
@@ -97,6 +99,10 @@ type ClientOptions struct {
 	CompressThreshold int
 	// PingTimeout bounds how long Ping waits for a pong (default 5s).
 	PingTimeout time.Duration
+	// Clock supplies the ping timeout timer (and any injected read
+	// stalls). Nil means the wall clock; deterministic tests inject a
+	// fake so breaker probe paths run without wall-clock sleeps.
+	Clock clock.Clock
 }
 
 // defaultNumConns picks the stripe width when ClientOptions.NumConns is
@@ -131,6 +137,7 @@ func NewClient(addr string, opts ClientOptions) *Client {
 	if opts.PingTimeout <= 0 {
 		opts.PingTimeout = 5 * time.Second
 	}
+	opts.Clock = clock.Or(opts.Clock)
 	return &Client{
 		addr:     addr,
 		numConns: opts.NumConns,
@@ -142,6 +149,7 @@ func NewClient(addr string, opts ClientOptions) *Client {
 		calls:    metrics.Default.Counter("rpc.client.calls"),
 
 		flushHist: metrics.Default.Histogram("rpc.client.flush_batch_frames", flushBatchBuckets),
+		readHist:  metrics.Default.Histogram("rpc.client.read_batch_frames", flushBatchBuckets),
 	}
 }
 
@@ -280,17 +288,121 @@ func (c *Client) conn(ctx context.Context, shard uint64) (*clientConn, error) {
 	return ncc, nil
 }
 
+// pendingShards is the stripe count of a clientConn's pending-call table.
+// A power of two: a call's shard is its id's low bits, so the id-allocating
+// round-robin naturally spreads registration, completion, and cancellation
+// across locks instead of serializing every caller on one mutex.
+const pendingShards = 8
+
+// A waiter is one pooled completion slot: a reusable buffered channel that
+// carries exactly one verdict per registration — a *Response on success,
+// nil for conn death. Verdict senders run under the owning shard's lock
+// and delete the registration before sending, so when a canceling caller
+// finds its registration gone the verdict is already buffered (forget
+// drains it); the channel is provably empty whenever the waiter returns to
+// the pool, which is what makes reuse hedge-safe.
+type waiter struct{ ch chan *Response }
+
+var waiterPool = sync.Pool{New: func() any {
+	return &waiter{ch: make(chan *Response, 1)}
+}}
+
+// A pendingShard is one stripe of the pending table. failed flips once the
+// conn-death sweep has failed the stripe: registration checks it under the
+// same lock, so no call can register after (or during) the sweep and wait
+// forever on a verdict that will never come.
+type pendingShard struct {
+	mu     sync.Mutex
+	m      map[uint64]*waiter
+	failed bool
+}
+
 // clientConn is one multiplexed connection with a reader goroutine; writes
-// go through a coalescing flusher (see connFlusher).
+// go through a coalescing flusher (see connFlusher) and responses complete
+// into the sharded pending table.
 type clientConn struct {
 	conn   net.Conn
 	client *Client
 	fl     *connFlusher
 
-	mu      sync.Mutex
-	pending map[uint64]chan *Response
-	pings   map[uint64]chan struct{}
-	err     error // non-nil once broken
+	shards [pendingShards]pendingShard
+
+	mu    sync.Mutex
+	pings map[uint64]chan struct{}
+	err   error // non-nil once broken
+}
+
+func (cc *clientConn) shard(id uint64) *pendingShard {
+	return &cc.shards[id&(pendingShards-1)]
+}
+
+// register claims a pooled waiter slot for call id, or reports the conn's
+// death error if the stripe has already been failed.
+func (cc *clientConn) register(id uint64) (*waiter, error) {
+	w := waiterPool.Get().(*waiter)
+	sh := cc.shard(id)
+	sh.mu.Lock()
+	if sh.failed {
+		sh.mu.Unlock()
+		waiterPool.Put(w)
+		cc.mu.Lock()
+		err := cc.err
+		cc.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("connection closed")
+		}
+		return nil, err
+	}
+	sh.m[id] = w
+	sh.mu.Unlock()
+	return w, nil
+}
+
+// complete delivers the verdict for id, reporting whether a waiter claimed
+// it. The delete-then-send happens under the shard lock — the invariant
+// forget relies on.
+func (cc *clientConn) complete(id uint64, resp *Response) bool {
+	sh := cc.shard(id)
+	sh.mu.Lock()
+	w, ok := sh.m[id]
+	if ok {
+		delete(sh.m, id)
+		w.ch <- resp
+	}
+	sh.mu.Unlock()
+	return ok
+}
+
+// forget abandons a registration (cancellation or write failure) and pools
+// the waiter. If the registration is already gone, its verdict is
+// guaranteed buffered in the channel — senders delete-then-send under the
+// shard lock — so forget drains and releases it before reusing the slot.
+func (cc *clientConn) forget(id uint64, w *waiter) {
+	sh := cc.shard(id)
+	sh.mu.Lock()
+	_, mine := sh.m[id]
+	if mine {
+		delete(sh.m, id)
+	}
+	sh.mu.Unlock()
+	if !mine {
+		if resp := <-w.ch; resp != nil {
+			resp.Release()
+		}
+	}
+	waiterPool.Put(w)
+}
+
+// pendingCount reports registered-but-unanswered calls, for tests.
+func (cc *clientConn) pendingCount() int {
+	n := 0
+	for i := range cc.shards {
+		sh := &cc.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // A Response is the result of a successful CallFramed. Its payload aliases
@@ -301,7 +413,7 @@ type Response struct {
 	status   byte
 	released bool
 	data     []byte
-	frame    []byte // pooled backing buffer the read loop fills
+	rb       *readBuf // batched read buffer the payload aliases
 }
 
 var responsePool = sync.Pool{New: func() any { return new(Response) }}
@@ -315,9 +427,9 @@ func newResponse() *Response {
 // Data returns the result payload. The slice is invalidated by Release.
 func (r *Response) Data() []byte { return r.data }
 
-// Release returns the response's buffer to the read pool. It panics on
-// double release: that is always an ownership bug that would otherwise
-// surface as silent payload corruption.
+// Release drops the response's reference to its batched read buffer. It
+// panics on double release: that is always an ownership bug that would
+// otherwise surface as silent payload corruption.
 func (r *Response) Release() {
 	if r.released {
 		panic("rpc: Response released twice")
@@ -325,19 +437,22 @@ func (r *Response) Release() {
 	r.released = true
 	r.status = 0
 	r.data = nil
-	if cap(r.frame) > maxPooledFrame {
-		r.frame = nil
+	if r.rb != nil {
+		r.rb.release()
+		r.rb = nil
 	}
 	responsePool.Put(r)
 }
 
 func newClientConn(conn net.Conn, c *Client) *clientConn {
 	cc := &clientConn{
-		conn:    conn,
-		client:  c,
-		fl:      newConnFlusher(conn, c.txBytes, c.flushHist, nil, nil),
-		pending: map[uint64]chan *Response{},
-		pings:   map[uint64]chan struct{}{},
+		conn:   conn,
+		client: c,
+		fl:     newConnFlusher(conn, c.txBytes, c.flushHist, nil, nil),
+		pings:  map[uint64]chan struct{}{},
+	}
+	for i := range cc.shards {
+		cc.shards[i].m = map[uint64]*waiter{}
 	}
 	go cc.readLoop()
 	return cc
@@ -349,21 +464,30 @@ func (cc *clientConn) dead() bool {
 	return cc.err != nil
 }
 
-// close marks the connection broken and fails all pending calls.
+// close marks the connection broken and fails all pending calls: the
+// death error is recorded first (under cc.mu), then every shard is swept —
+// failed is set and a nil verdict delivered under each shard's lock, so a
+// registration either lands before the sweep (and is failed by it) or
+// observes failed and reports the recorded error. No waiter strands.
 func (cc *clientConn) close(err error) {
 	cc.mu.Lock()
 	if cc.err == nil {
 		cc.err = err
 	}
-	pending := cc.pending
 	pings := cc.pings
-	cc.pending = map[uint64]chan *Response{}
 	cc.pings = map[uint64]chan struct{}{}
 	cc.mu.Unlock()
 
 	cc.conn.Close()
-	for _, ch := range pending {
-		close(ch)
+	for i := range cc.shards {
+		sh := &cc.shards[i]
+		sh.mu.Lock()
+		sh.failed = true
+		for id, w := range sh.m {
+			delete(sh.m, id)
+			w.ch <- nil
+		}
+		sh.mu.Unlock()
 	}
 	for _, ch := range pings {
 		close(ch)
@@ -371,44 +495,37 @@ func (cc *clientConn) close(err error) {
 }
 
 func (cc *clientConn) readLoop() {
+	// One batched Read commonly drains every response the server's flusher
+	// coalesced into a segment; each frame is sliced out of the shared
+	// pooled buffer and carries a reference to it. A claimed response hands
+	// its reference to the waiting caller, who releases after decoding;
+	// unclaimed frames (caller canceled, malformed, pongs) release here.
+	fr := newFrameReader(cc.conn, cc.client.readHist, nil, cc.client.opts.Clock)
+	defer fr.close()
 	for {
-		// Each response is read into a pooled buffer owned by the Response
-		// that carries it: ownership transfers to the waiting caller, who
-		// releases it after decoding. Unclaimed responses (caller canceled,
-		// malformed frames, pongs) are released here.
-		resp := newResponse()
-		frame, err := readFrameInto(cc.conn, &resp.frame)
+		frame, rb, err := fr.next()
 		if err != nil {
-			resp.Release()
 			cc.close(err)
 			return
 		}
 		cc.client.rxBytes.Add(uint64(len(frame)))
 		if len(frame) == 0 {
-			resp.Release()
+			rb.release()
 			continue
 		}
 		typ, payload := frame[0], frame[1:]
 		switch typ {
 		case frameResponse:
 			if len(payload) < 9 {
-				resp.Release()
+				rb.release()
 				continue
 			}
 			id := getUint64(payload)
+			resp := newResponse()
 			resp.status = payload[8]
 			resp.data = payload[9:]
-			// Hand off under the lock: close() closes pending channels
-			// under the same lock, so the channel cannot be closed between
-			// the lookup and the (never-blocking, buffered) send.
-			cc.mu.Lock()
-			ch, ok := cc.pending[id]
-			if ok {
-				delete(cc.pending, id)
-				ch <- resp // ownership moves to the waiter
-			}
-			cc.mu.Unlock()
-			if !ok {
+			resp.rb = rb
+			if !cc.complete(id, resp) {
 				resp.Release()
 			}
 		case framePong:
@@ -422,9 +539,9 @@ func (cc *clientConn) readLoop() {
 				}
 				cc.mu.Unlock()
 			}
-			resp.Release()
+			rb.release()
 		default:
-			resp.Release()
+			rb.release()
 		}
 	}
 }
@@ -525,15 +642,10 @@ func (cc *clientConn) roundTrip(ctx context.Context, method MethodID, framed []b
 		}
 	}
 
-	ch := make(chan *Response, 1)
-	cc.mu.Lock()
-	if cc.err != nil {
-		err := cc.err
-		cc.mu.Unlock()
+	w, err := cc.register(id)
+	if err != nil {
 		return nil, err
 	}
-	cc.pending[id] = ch
-	cc.mu.Unlock()
 
 	var werr error
 	if inPlace {
@@ -563,15 +675,16 @@ func (cc *clientConn) roundTrip(ctx context.Context, method MethodID, framed []b
 		comp.release()
 	}
 	if werr != nil {
-		cc.mu.Lock()
-		delete(cc.pending, id)
-		cc.mu.Unlock()
+		cc.forget(id, w)
 		return nil, werr
 	}
 
 	select {
-	case resp, ok := <-ch:
-		if !ok {
+	case resp := <-w.ch:
+		// The channel is empty again: the slot can serve the next call.
+		waiterPool.Put(w)
+		if resp == nil {
+			// Conn-death verdict from the close sweep.
 			cc.mu.Lock()
 			err := cc.err
 			cc.mu.Unlock()
@@ -597,24 +710,23 @@ func (cc *clientConn) roundTrip(ctx context.Context, method MethodID, framed []b
 				resp.Release()
 				return nil, err
 			}
-			resp.data = data // fresh heap slice; the frame stays pooled
+			// The payload moved to a fresh heap slice: drop the shared
+			// read-buffer reference now instead of pinning a batch buffer
+			// for as long as the caller holds the Response.
+			resp.data = data
+			if resp.rb != nil {
+				resp.rb.release()
+				resp.rb = nil
+			}
 			return resp, nil
 		}
 		return resp, nil
 	case <-ctx.Done():
-		// Tell the server to stop working on this request, then abandon it.
-		cc.mu.Lock()
-		delete(cc.pending, id)
-		cc.mu.Unlock()
-		// The read loop may have handed the response off concurrently;
-		// reclaim it so the buffer is not stranded.
-		select {
-		case resp, ok := <-ch:
-			if ok {
-				resp.Release()
-			}
-		default:
-		}
+		// Tell the server to stop working on this request, then abandon
+		// it. forget reclaims a concurrently-delivered response so the
+		// read buffer is not stranded and the waiter slot is clean before
+		// it is reused (hedge losers land here routinely).
+		cc.forget(id, w)
 		var cbuf [9]byte
 		cbuf[0] = frameCancel
 		putUint64(cbuf[1:], id)
@@ -642,7 +754,7 @@ func (cc *clientConn) ping(ctx context.Context) error {
 		return err
 	}
 
-	timer := time.NewTimer(cc.client.opts.PingTimeout)
+	timer := cc.client.opts.Clock.NewTimer(cc.client.opts.PingTimeout)
 	defer timer.Stop()
 	select {
 	case <-ch:
@@ -655,7 +767,7 @@ func (cc *clientConn) ping(ctx context.Context) error {
 		delete(cc.pings, nonce)
 		cc.mu.Unlock()
 		return ctx.Err()
-	case <-timer.C:
+	case <-timer.C():
 		cc.mu.Lock()
 		delete(cc.pings, nonce)
 		cc.mu.Unlock()

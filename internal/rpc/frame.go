@@ -29,6 +29,14 @@
 // Connections are multiplexed: many in-flight calls share one TCP
 // connection, correlated by id. Cancellation propagates with an explicit
 // cancel frame so servers stop wasted work promptly.
+//
+// Both directions batch their syscalls. Writes go through a coalescing
+// flusher (connFlusher) that rides concurrent frames on one vectored
+// write; reads mirror it with a frameReader that issues one large Read
+// into a pooled buffer and slices out every complete frame that arrived,
+// so a deep batch of coalesced frames costs one syscall to send and one
+// to receive. The rpc.{client,server}.read_batch_frames histograms record
+// the read-side batch depths.
 package rpc
 
 import (

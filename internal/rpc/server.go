@@ -120,6 +120,17 @@ type Server struct {
 	// It exists for the chaos/sim harnesses (degrade-dataplane-batching).
 	flushStallNanos atomic.Int64
 
+	// readStallNanos injects a stall before every batched frame read — the
+	// stall-read fault: a replica that drains its receive queue slowly, so
+	// requests pile up in the kernel buffer and arrive in deep batches.
+	readStallNanos atomic.Int64
+
+	// wheel tracks every in-flight request deadline on one coalesced
+	// ticker (see clock.Wheel) instead of a runtime timer per request.
+	wheel *clock.Wheel
+	// pool runs requests on reusable worker goroutines.
+	pool *workerPool
+
 	// Metrics.
 	requests  *metrics.Counter
 	errored   *metrics.Counter
@@ -128,6 +139,7 @@ type Server struct {
 	rxBytes   *metrics.Counter
 	txBytes   *metrics.Counter
 	flushHist *metrics.Histogram
+	readHist  *metrics.Histogram
 	// Per-priority-class admission outcomes, indexed by shed rank.
 	admittedByClass [numPriorities]*metrics.Counter
 	shedByClass     [numPriorities]*metrics.Counter
@@ -171,6 +183,7 @@ func NewServerWithOptions(opts ServerOptions) *Server {
 		txBytes:  metrics.Default.Counter("rpc.server.tx_bytes"),
 
 		flushHist: metrics.Default.Histogram("rpc.server.flush_batch_frames", flushBatchBuckets),
+		readHist:  metrics.Default.Histogram("rpc.server.read_batch_frames", flushBatchBuckets),
 
 		hedgeDropMetric: metrics.Default.Counter("rpc.server.hedge_dropped"),
 	}
@@ -182,6 +195,20 @@ func NewServerWithOptions(opts ServerOptions) *Server {
 	if opts.MaxInflight > 0 {
 		s.adm = newAdmitter(opts.MaxInflight, opts.MaxQueue, &s.queued, s.hedgeDropMetric)
 	}
+	// One wheel tick per millisecond while any deadline is outstanding;
+	// 256 slots keep a tick's sweep to the entries actually due.
+	s.wheel = clock.NewWheel(s.opts.Clock, time.Millisecond, 256)
+	// The worker cap only bounds goroutine reuse, not concurrency (past it,
+	// dispatch falls back to plain goroutines). Admission can park at most
+	// MaxInflight+MaxQueue workers, so size above that watermark.
+	workers := 512
+	if opts.MaxInflight > 0 {
+		workers = opts.MaxInflight + opts.MaxQueue
+		if workers < 16 {
+			workers = 16
+		}
+	}
+	s.pool = newWorkerPool(workers)
 	s.rebuildChainLocked()
 	return s
 }
@@ -196,6 +223,12 @@ func (s *Server) SetDelay(d time.Duration) { s.delayNanos.Store(int64(d)) }
 // does not delay dispatch: it squeezes the write path specifically, which
 // also exercises the flusher's pending-bytes backpressure.
 func (s *Server) SetFlushStall(d time.Duration) { s.flushStallNanos.Store(int64(d)) }
+
+// SetReadStall injects d of stall before each batched frame read, so the
+// peer's frames pile up in the socket buffer and arrive in deep batches —
+// the stall-read (slow reader) fault. Zero clears it. Responses still
+// flush promptly; only the receive path is squeezed.
+func (s *Server) SetReadStall(d time.Duration) { s.readStallNanos.Store(int64(d)) }
 
 // admit blocks until the request may execute, or reports that it must be
 // shed. With no limit configured every request is admitted immediately.
@@ -346,12 +379,16 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
+	// Every serveConn has drained its requests; retire the idle workers.
+	s.pool.stop()
 	return nil
 }
 
-// serveConn owns one connection: it reads frames and dispatches requests,
-// each on its own goroutine, with responses coalesced through the
-// connection's write flusher.
+// serveConn owns one connection: a batched frameReader slices every
+// request frame the kernel has buffered out of one Read, and each request
+// runs on the worker pool with its deadline tracked by the server's timer
+// wheel — no goroutine spawn, runtime timer, or buffer copy per request.
+// Responses coalesce through the connection's write flusher.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -365,33 +402,28 @@ func (s *Server) serveConn(conn net.Conn) {
 		_ = tc.SetNoDelay(true)
 	}
 
-	var (
-		inflight sync.Map // request id -> context.CancelFunc
-		connWG   sync.WaitGroup
-	)
-	defer connWG.Wait()
+	st := newConnState()
+	defer st.wg.Wait()
 
 	cw := s.newConnWriter(conn)
+	fr := newFrameReader(conn, s.readHist, &s.readStallNanos, s.opts.Clock)
+	defer fr.close()
 
 	for {
-		// Each request frame is read into a pooled buffer owned by the
-		// goroutine that handles it; the buffer returns to the pool after
-		// the response is written, so handlers may alias args freely.
-		fb := getFrame()
-		frame, err := readFrameInto(conn, &fb.b)
+		// Each request frame aliases the shared pooled read buffer and
+		// holds a reference to it; the reference drops after the response
+		// is written, so handlers may alias args freely while the reader
+		// moves on to fresh buffers.
+		frame, rb, err := fr.next()
 		if err != nil {
-			putFrame(fb)
 			// Cancel everything still running on this connection: the
 			// caller is gone.
-			inflight.Range(func(_, v any) bool {
-				v.(context.CancelFunc)()
-				return true
-			})
+			st.cancelAll()
 			return
 		}
 		s.rxBytes.Add(uint64(len(frame)))
 		if len(frame) == 0 {
-			putFrame(fb)
+			rb.release()
 			continue
 		}
 		typ, payload := frame[0], frame[1:]
@@ -400,50 +432,34 @@ func (s *Server) serveConn(conn net.Conn) {
 			var hdr header
 			n, err := hdr.decode(payload)
 			if err != nil {
-				putFrame(fb)
+				rb.release()
 				continue // malformed; drop
 			}
-			args := payload[n:]
 			s.requests.Inc()
 
-			var ctx context.Context
-			var cancel context.CancelFunc
+			rc := &reqCtx{clk: s.opts.Clock, wheel: s.wheel}
 			if hdr.deadline != 0 {
-				ctx, cancel = context.WithDeadline(context.Background(), time.Unix(0, hdr.deadline))
-			} else {
-				ctx, cancel = context.WithCancel(context.Background())
+				rc.deadline = time.Unix(0, hdr.deadline)
+				s.wheel.Schedule(&rc.entry, rc.deadline, rc)
 			}
-			inflight.Store(hdr.id, cancel)
-
-			connWG.Add(1)
-			go func(ctx context.Context, hdr header, args []byte, fb *frameBuf) {
-				defer connWG.Done()
-				defer putFrame(fb)
-				defer func() {
-					if c, ok := inflight.LoadAndDelete(hdr.id); ok {
-						c.(context.CancelFunc)()
-					}
-				}()
-				s.handleRequest(ctx, cw, hdr, args)
-			}(ctx, hdr, args, fb)
+			st.add(hdr.id, rc)
+			st.wg.Add(1)
+			s.pool.submit(reqWork{s: s, cw: cw, st: st, rc: rc, rb: rb, hdr: hdr, args: payload[n:]})
 
 		case frameCancel:
 			if len(payload) >= 8 {
-				id := getUint64(payload)
-				if c, ok := inflight.Load(id); ok {
-					c.(context.CancelFunc)()
-				}
+				st.cancel(getUint64(payload))
 			}
-			putFrame(fb)
+			rb.release()
 
 		case framePing:
 			_ = cw.write([]byte{framePong}, payload)
-			putFrame(fb)
+			rb.release()
 
 		default:
 			// Servers do not send pings, so pongs (and unknown types) are
 			// ignored.
-			putFrame(fb)
+			rb.release()
 		}
 	}
 }

@@ -134,9 +134,7 @@ func TestStripedConnDeathFailsPending(t *testing.T) {
 			if cc == nil {
 				continue
 			}
-			cc.mu.Lock()
-			pending += len(cc.pending)
-			cc.mu.Unlock()
+			pending += cc.pendingCount()
 		}
 		c.mu.Unlock()
 		if pending == len(errs) {

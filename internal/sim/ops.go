@@ -35,6 +35,8 @@ const (
 	OpRestoreBatch             // remove injected flush stall
 	OpBurst                    // mixed-priority burst: concurrent low Gets + high Delivers
 	OpMgrRestart               // tear down the manager and rebuild it from re-registration
+	OpStallRead                // stall a replica's batched frame reader (slow-reader fault)
+	OpRestoreRead              // remove injected read stall
 )
 
 // Burst shape: enough concurrent low-priority Store.Gets to saturate a
@@ -92,6 +94,10 @@ func (o Op) String() string {
 		return fmt.Sprintf("burst %dx get %s + delivers %d..%d", burstGets, o.Key, o.Val, o.Val+burstDelivers-1)
 	case OpMgrRestart:
 		return "restart manager"
+	case OpStallRead:
+		return fmt.Sprintf("stall-read %s[%d]", o.Group, o.Index)
+	case OpRestoreRead:
+		return fmt.Sprintf("restore-read %s[%d]", o.Group, o.Index)
 	}
 	return fmt.Sprintf("op(%d)", int(o.Kind))
 }
@@ -151,6 +157,14 @@ func Generate(seed uint64, n int) []Op {
 			ops = append(ops, Op{Kind: OpMove})
 		case r < 92:
 			ops = append(ops, Op{Kind: OpDegrade, Group: "kv", Index: rng.IntN(4)})
+		case r == 92:
+			// Carved out of the degrade-batching band, consuming the same
+			// single IntN(4) draw that band would, so every pre-existing
+			// pinned seed's trace is byte-identical (none of the
+			// smoke-campaign seeds draws 92). Targets the mover's group:
+			// the op's purpose is at-most-once accounting under a stalled
+			// reader.
+			ops = append(ops, Op{Kind: OpStallRead, Group: "mv", Index: rng.IntN(4)})
 		case r == 93:
 			// Carved out of the degrade-batching band without consuming an
 			// extra rng draw, so every pre-existing pinned seed's trace is
@@ -158,6 +172,10 @@ func Generate(seed uint64, n int) []Op {
 			ops = append(ops, Op{Kind: OpMgrRestart})
 		case r < 95:
 			ops = append(ops, Op{Kind: OpDegradeBatch, Group: "kv", Index: rng.IntN(4)})
+		case r == 96:
+			// Carved out of the restore band with an identical draw count
+			// (no smoke-campaign seed draws 96); undoes stall-read.
+			ops = append(ops, Op{Kind: OpRestoreRead, Group: "mv", Index: rng.IntN(4)})
 		case r < 98:
 			ops = append(ops, Op{Kind: OpRestore, Group: "kv", Index: rng.IntN(4)})
 		default:

@@ -69,6 +69,12 @@ const (
 	// while individual calls stay far inside op deadlines.
 	simBatchStall = 2 * time.Millisecond
 
+	// simReadStall is the frame-reader stall injected by stall-read ops:
+	// each batched read pauses this long, so inbound requests pile up in
+	// the replica's socket buffer and drain in deep read batches while
+	// individual calls stay far inside op deadlines.
+	simReadStall = 2 * time.Millisecond
+
 	opTimeout     = 5 * time.Second
 	settleTimeout = 20 * time.Second
 )
@@ -457,6 +463,32 @@ func (w *world) apply(ctx context.Context, i int, op Op) (string, error) {
 		ids := w.d.GroupReplicas(w.resolveGroup(op.Group))
 		if len(ids) > 0 {
 			w.faults.DegradeBatching(ids[op.Index%len(ids)], 0)
+		}
+
+	case OpStallRead:
+		ids := w.d.GroupReplicas(w.resolveGroup(op.Group))
+		if len(ids) == 0 {
+			break
+		}
+		w.faults.StallReads(ids[op.Index%len(ids)], simReadStall)
+		// Probe the at-most-once ledger through the stalled reader: the
+		// deliver drains from a deep socket backlog, but it must still
+		// execute exactly once if acked and never twice. Probe sequence
+		// numbers are negative (unique per op index), so they can never
+		// collide with the schedule's own deliver numbering.
+		probe := -int64(i) - 1
+		w.tried[probe] = true
+		if _, err := w.mover.Deliver(step, probe); err == nil {
+			w.acked[probe] = true
+		}
+		if v := w.checkAMO(fmt.Sprintf("op %d (%s)", i, op)); v != "" {
+			return v, nil
+		}
+
+	case OpRestoreRead:
+		ids := w.d.GroupReplicas(w.resolveGroup(op.Group))
+		if len(ids) > 0 {
+			w.faults.StallReads(ids[op.Index%len(ids)], 0)
 		}
 
 	case OpMgrRestart:

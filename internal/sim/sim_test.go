@@ -67,6 +67,18 @@ func TestSimSoak(t *testing.T) {
 	}
 }
 
+// TestSimStallReadSeed pins a generated schedule that exercises the
+// slow-reader fault: seed 48 stalls the mover group's batched frame reader
+// at op 0, issues three at-most-once deliveries (plus the harness's
+// in-stall probe) while requests pile up in the stalled replica's socket
+// buffer, restores the reader at op 6, and injects a second stall at op 8
+// that is never restored — so teardown must also drain cleanly under an
+// active read stall. The at-most-once ledger is checked while stalled and
+// at every subsequent step.
+func TestSimStallReadSeed(t *testing.T) {
+	Run(t, Options{Ops: *simOps, Log: t.Logf}, 48)
+}
+
 // TestSimManagerRestart drives a handcrafted schedule through a manager
 // teardown-and-rebuild: writes land, the manager restarts (twice, once
 // right after a crash-heal and a resharding), and reads, at-most-once
